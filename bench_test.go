@@ -1,0 +1,81 @@
+// Package repro's root benchmarks regenerate every figure and table of the
+// reproduction (see DESIGN.md §4 and EXPERIMENTS.md). Each benchmark wraps
+// one experiment; the measured wall time is the *simulation host* cost —
+// the experiment's own results (simulated bandwidths, latencies, loss
+// counts) are printed once per benchmark via b.Log and recorded in
+// EXPERIMENTS.md.
+//
+// Run them all:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// runExperiment executes fn b.N times, logging the table once.
+func runExperiment(b *testing.B, fn func(int64) *metrics.Table) {
+	b.Helper()
+	var tab *metrics.Table
+	for i := 0; i < b.N; i++ {
+		tab = fn(1)
+	}
+	if tab != nil {
+		b.Log("\n" + tab.String())
+	}
+}
+
+// BenchmarkE1SingleStream — Figure 1 / §2.3: single-stream bandwidth vs
+// striped blade count (1→~4 Gb/s, 4→port-limited ~10 Gb/s).
+func BenchmarkE1SingleStream(b *testing.B) { runExperiment(b, experiments.E1) }
+
+// BenchmarkE2AggregateScaling — §2.1: aggregate throughput vs controllers,
+// cluster vs dual-controller baseline.
+func BenchmarkE2AggregateScaling(b *testing.B) { runExperiment(b, experiments.E2) }
+
+// BenchmarkE3HotSpot — §2.2: Zipf hot-read load balance and pooled-cache
+// hit rate vs the baseline's hot controller.
+func BenchmarkE3HotSpot(b *testing.B) { runExperiment(b, experiments.E3) }
+
+// BenchmarkE4Rebuild — §2.4: distributed rebuild time vs blades, with
+// foreground-impact columns.
+func BenchmarkE4Rebuild(b *testing.B) { runExperiment(b, experiments.E4) }
+
+// BenchmarkE5DMSD — §3: thin provisioning capacity efficiency vs fixed
+// partitions.
+func BenchmarkE5DMSD(b *testing.B) { runExperiment(b, experiments.E5) }
+
+// BenchmarkE6NWay — §6.1: N-way replication write latency and
+// survivability.
+func BenchmarkE6NWay(b *testing.B) { runExperiment(b, experiments.E6) }
+
+// BenchmarkE7RemoteAccess — §7.1: remote first-touch vs prefetched reads.
+func BenchmarkE7RemoteAccess(b *testing.B) { runExperiment(b, experiments.E7) }
+
+// BenchmarkE8GeoReplication — §7.2: sync-vs-async latency and loss window
+// across distance.
+func BenchmarkE8GeoReplication(b *testing.B) { runExperiment(b, experiments.E8) }
+
+// BenchmarkE9Encryption — §8.1: encrypted streaming reaching wire speed by
+// parallelism.
+func BenchmarkE9Encryption(b *testing.B) { runExperiment(b, experiments.E9) }
+
+// BenchmarkE10Availability — §6.3: throughput through a double blade
+// failure and recovery.
+func BenchmarkE10Availability(b *testing.B) { runExperiment(b, experiments.E10) }
+
+// BenchmarkA1Prefetch — ablation: geographic prefetch on/off.
+func BenchmarkA1Prefetch(b *testing.B) { runExperiment(b, experiments.A1Prefetch) }
+
+// BenchmarkA2PeerFetch — ablation: cache-to-cache transfers on/off.
+func BenchmarkA2PeerFetch(b *testing.B) { runExperiment(b, experiments.A2PeerFetch) }
+
+// BenchmarkA3ReplicationCost — ablation: write latency vs replication N.
+func BenchmarkA3ReplicationCost(b *testing.B) { runExperiment(b, experiments.A3ReplicationCost) }
+
+// BenchmarkA4ReadAhead — ablation: controller readahead on/off.
+func BenchmarkA4ReadAhead(b *testing.B) { runExperiment(b, experiments.A4ReadAhead) }

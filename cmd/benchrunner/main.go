@@ -1,0 +1,74 @@
+// Command benchrunner regenerates every table and figure of the
+// reproduction (E1–E10 in DESIGN.md/EXPERIMENTS.md) and prints them as
+// plain-text tables.
+//
+// Usage:
+//
+//	benchrunner [-seed N] [-only E4] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+var runners = []struct {
+	name string
+	desc string
+	fn   func(int64) *metrics.Table
+}{
+	{"E1", "Figure 1 / §2.3: single-stream rate vs striped blades", experiments.E1},
+	{"E2", "§2.1: aggregate throughput scaling vs controllers", experiments.E2},
+	{"E3", "§2.2: hot-spot behaviour under Zipf access", experiments.E3},
+	{"E4", "§2.4: distributed rebuild", experiments.E4},
+	{"E5", "§3: DMSD thin provisioning", experiments.E5},
+	{"E6", "§6.1: N-way write replication", experiments.E6},
+	{"E7", "§7.1: remote first touch and prefetch", experiments.E7},
+	{"E8", "§7.2: sync vs async geographic replication", experiments.E8},
+	{"E9", "§8.1: encryption at wire speed by parallelism", experiments.E9},
+	{"E10", "§6.3: availability through blade failures", experiments.E10},
+	{"A1", "ablation: remote-read prefetch on/off", experiments.A1Prefetch},
+	{"A2", "ablation: cache-to-cache transfers on/off", experiments.A2PeerFetch},
+	{"A3", "ablation: write latency vs replication factor", experiments.A3ReplicationCost},
+	{"A4", "ablation: sequential readahead on/off", experiments.A4ReadAhead},
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.name, r.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.name] {
+			continue
+		}
+		fmt.Printf("\n# %s — %s\n", r.name, r.desc)
+		r.fn(*seed).Render(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,311 @@
+// Command yottactl is the administrator's view of the system (§7.3: "the
+// distributed operation managed as a single site"). It builds an in-memory
+// system from a scenario description, executes a script of admin commands,
+// and prints the resulting state — volumes, tenants, blade health, pool
+// occupancy — as one system image.
+//
+// Usage:
+//
+//	yottactl                  # run the default demo scenario
+//	yottactl -script file     # run commands from a file (one per line)
+//
+// Commands (one per line; '#' starts a comment):
+//
+//	mkvol <name> <extents>          create a DMSD
+//	mkthick <name> <blocks>         create a thick volume
+//	rmvol <name>                    delete a volume
+//	snapshot <src> <dst>            point-in-time copy
+//	mkdir <path>                    create a directory
+//	put <path> <text...>            write a file
+//	get <path>                      print a file
+//	policy <path> prio=N repl=N     set file policy
+//	tenant <name>                   create tenant + token
+//	grant <lun> <tenant> <ro|rw>    LUN mask entry
+//	export <lun> <volume>           publish a volume as a LUN
+//	failblade <id>                  kill a controller blade
+//	revive <id>                     bring a blade back
+//	faildisk <group> <idx>          fail a drive
+//	rebuild <group> <idx>           distributed rebuild
+//	clone <src> <dst>               distributed mirror creation
+//	evacuate <device>               migrate all extents off a device
+//	rebalance                       even extent load across devices
+//	status                          print system status
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+	"repro/internal/security"
+	"repro/internal/sim"
+)
+
+const defaultScript = `
+# --- default demo scenario: a lab pool administered as one system ---
+status
+mkvol projects 4096
+mkthick scratch 2048
+tenant fusion
+export fusion-lun projects
+grant fusion-lun fusion rw
+mkdir /labs/fusion
+put /labs/fusion/readme.txt shared storage for the whole lab
+policy /labs/fusion/readme.txt prio=3 repl=3
+get /labs/fusion/readme.txt
+snapshot projects projects@t0
+clone fs.default fs-mirror
+rebalance
+faildisk 0 1
+rebuild 0 1
+failblade 2
+status
+revive 2
+status
+`
+
+func main() {
+	scriptPath := flag.String("script", "", "command script (default: built-in demo)")
+	flag.Parse()
+
+	// Demo-scale drives (256 MiB each) keep interactive rebuilds quick.
+	sys, err := core.NewSystem(core.Options{
+		DiskSpec: disk.Spec{
+			BlockSize:   4096,
+			Blocks:      1 << 16,
+			Seek:        5 * sim.Millisecond,
+			Rotation:    3 * sim.Millisecond,
+			TransferBps: 400_000_000,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+
+	var lines []string
+	if *scriptPath == "" {
+		lines = strings.Split(defaultScript, "\n")
+	} else {
+		f, err := os.Open(*scriptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		f.Close()
+	}
+
+	err = sys.Run(0, func(p *sim.Proc) error {
+		for _, line := range lines {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			fmt.Printf("yotta> %s\n", line)
+			if err := execute(p, sys, line); err != nil {
+				fmt.Printf("  error: %v\n", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func execute(p *sim.Proc, sys *core.System, line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	atoi := func(s string) int64 {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	switch cmd {
+	case "mkvol":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mkvol <name> <extents>")
+		}
+		_, err := sys.Cluster.CreateDMSD("default", args[0], atoi(args[1]))
+		return err
+	case "mkthick":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mkthick <name> <blocks>")
+		}
+		_, err := sys.Cluster.CreateVolume("default", args[0], atoi(args[1]))
+		return err
+	case "rmvol":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: rmvol <name>")
+		}
+		return sys.Cluster.Pool.Delete(args[0])
+	case "snapshot":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: snapshot <src> <dst>")
+		}
+		v, ok := sys.Cluster.Pool.Volumes()[args[0]]
+		if !ok {
+			return fmt.Errorf("no volume %q", args[0])
+		}
+		_, err := v.SnapshotAs(args[1])
+		return err
+	case "mkdir":
+		return sys.FS.MkdirAll(args[0])
+	case "put":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: put <path> <text>")
+		}
+		return sys.FS.WriteFile(p, args[0], []byte(strings.Join(args[1:], " ")), pfs.Policy{})
+	case "get":
+		data, err := sys.FS.ReadFile(p, args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", data)
+		return nil
+	case "policy":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: policy <path> prio=N repl=N")
+		}
+		pol, err := sys.FS.Policy(args[0])
+		if err != nil {
+			return err
+		}
+		for _, kv := range args[1:] {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				continue
+			}
+			switch parts[0] {
+			case "prio":
+				pol.CachePriority = int(atoi(parts[1]))
+			case "repl":
+				pol.ReplicationN = int(atoi(parts[1]))
+			case "class":
+				pol.Class = parts[1]
+			}
+		}
+		return sys.FS.SetPolicy(args[0], pol)
+	case "tenant":
+		if _, err := sys.Auth.CreateTenant(args[0]); err != nil {
+			return err
+		}
+		tok, err := sys.Auth.Issue(args[0], 24*3600*sim.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  token: %s\n", tok)
+		return nil
+	case "export":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: export <lun> <volume>")
+		}
+		sys.Gateway.ExportLUN(args[0], args[1])
+		return nil
+	case "grant":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: grant <lun> <tenant> <ro|rw>")
+		}
+		access := security.ReadOnly
+		if args[2] == "rw" {
+			access = security.ReadWrite
+		}
+		sys.Mask.Allow(args[0], args[1], access)
+		return nil
+	case "failblade":
+		return sys.Cluster.FailBlade(p, int(atoi(args[0])))
+	case "revive":
+		return sys.Cluster.ReviveBlade(p, int(atoi(args[0])))
+	case "faildisk":
+		g, d := int(atoi(args[0])), int(atoi(args[1]))
+		if g < 0 || g >= len(sys.Cluster.Groups) {
+			return fmt.Errorf("no group %d", g)
+		}
+		sys.Cluster.Groups[g].Disks()[d].Fail()
+		return nil
+	case "clone":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: clone <src> <dst>")
+		}
+		t0 := p.Now()
+		n, err := sys.Cluster.DistributedClone(p, "default", args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  cloned %d extents in %v\n", n, p.Now().Sub(t0))
+		return nil
+	case "evacuate":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: evacuate <device>")
+		}
+		moved, err := sys.Cluster.Pool.Evacuate(p, int(atoi(args[0])))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  migrated %d extents off device %s\n", moved, args[0])
+		return nil
+	case "rebalance":
+		moved, err := sys.Cluster.Pool.Rebalance(p, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  moved %d extents; device load now %v\n", moved, sys.Cluster.Pool.DeviceLoad())
+		return nil
+	case "rebuild":
+		g, d := int(atoi(args[0])), int(atoi(args[1]))
+		t0 := p.Now()
+		if err := sys.Cluster.DistributedRebuild(p, g, d); err != nil {
+			return err
+		}
+		fmt.Printf("  rebuild complete in %v\n", p.Now().Sub(t0))
+		return nil
+	case "status":
+		printStatus(sys)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printStatus(sys *core.System) {
+	c := sys.Cluster
+	fmt.Printf("  t=%v\n", c.K.Now())
+	fmt.Printf("  blades: %d total, %v alive\n", len(c.Blades), c.Alive())
+	healthy := 0
+	for _, d := range c.Farm.Disks {
+		if !d.Failed() {
+			healthy++
+		}
+	}
+	fmt.Printf("  disks: %d/%d healthy across %d RAID groups\n",
+		healthy, len(c.Farm.Disks), len(c.Groups))
+	pool := c.Pool
+	fmt.Printf("  pool: %s allocated of %s (%d volumes)\n",
+		metrics.FormatBytes(pool.AllocatedBytes()),
+		metrics.FormatBytes(pool.TotalExtents()*pool.ExtentBytes()),
+		len(pool.Volumes()))
+	var names []string
+	for name := range pool.Volumes() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := pool.Volumes()[name]
+		fmt.Printf("    %-16s %-8s mapped %s\n", name, v.Kind(),
+			metrics.FormatBytes(v.PhysicalBytes()))
+	}
+}

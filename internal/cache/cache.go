@@ -1,0 +1,227 @@
+// Package cache implements the per-blade block cache of §2.2: an LRU cache
+// with retention-priority lanes (file metadata can "override cache retention
+// priorities", §4), dirty tracking for write-back, and the coherence state
+// tag maintained by the inter-controller protocol in internal/coherence.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Key identifies a cached block: a virtual volume name plus block address.
+type Key struct {
+	Vol string
+	LBA int64
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s/%d", k.Vol, k.LBA) }
+
+// State is the block's coherence state on this blade.
+type State uint8
+
+// MSI coherence states.
+const (
+	Invalid  State = iota
+	Shared         // clean, possibly cached on other blades too
+	Modified       // exclusive; may be dirty
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// NumPriorities is the count of retention lanes; priority 0 evicts first.
+const NumPriorities = 4
+
+// Entry is one cached block.
+type Entry struct {
+	Key      Key
+	Data     []byte
+	State    State
+	Dirty    bool
+	Priority int
+	// Pinned entries are immune to eviction (e.g. mid-writeback).
+	Pinned bool
+	// Version increments on every data update; writeback paths use it to
+	// detect concurrent modification before clearing Dirty.
+	Version uint64
+
+	elem *list.Element
+	lane int
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Evictions, Inserts int64
+}
+
+// Cache is a fixed-capacity block cache. It is a passive data structure:
+// all policy (writeback, coherence messaging) lives in the caller.
+type Cache struct {
+	capacity int
+	entries  map[Key]*Entry
+	lanes    [NumPriorities]*list.List // front = LRU victim end
+	stats    Stats
+}
+
+// New returns a cache holding up to capacity blocks.
+func New(capacity int) *Cache {
+	c := &Cache{capacity: capacity, entries: make(map[Key]*Entry)}
+	for i := range c.lanes {
+		c.lanes[i] = list.New()
+	}
+	return c
+}
+
+// Capacity returns the configured block capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// SetCapacity adjusts capacity (the caller evicts the overflow).
+func (c *Cache) SetCapacity(n int) { c.capacity = n }
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Get returns the entry for key and refreshes its recency; ok is false on
+// miss. Hit/miss counters update accordingly.
+func (c *Cache) Get(key Key) (*Entry, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.lanes[e.lane].MoveToBack(e.elem)
+	return e, true
+}
+
+// Peek returns the entry without touching recency or counters.
+func (c *Cache) Peek(key Key) (*Entry, bool) {
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Put inserts or replaces an entry. The caller must have made room first
+// (Put never evicts; see Victim). Data is stored by reference.
+func (c *Cache) Put(key Key, data []byte, state State, dirty bool, priority int) *Entry {
+	if priority < 0 {
+		priority = 0
+	}
+	if priority >= NumPriorities {
+		priority = NumPriorities - 1
+	}
+	if e, ok := c.entries[key]; ok {
+		c.lanes[e.lane].Remove(e.elem)
+		e.Data, e.State, e.Dirty, e.Priority = data, state, dirty, priority
+		e.lane = priority
+		e.elem = c.lanes[priority].PushBack(e)
+		return e
+	}
+	e := &Entry{Key: key, Data: data, State: state, Dirty: dirty, Priority: priority, lane: priority}
+	e.elem = c.lanes[priority].PushBack(e)
+	c.entries[key] = e
+	c.stats.Inserts++
+	return e
+}
+
+// Remove drops key from the cache (no writeback — caller's job).
+func (c *Cache) Remove(key Key) {
+	if e, ok := c.entries[key]; ok {
+		c.lanes[e.lane].Remove(e.elem)
+		delete(c.entries, key)
+	}
+}
+
+// NeedsRoom reports whether inserting n new blocks would exceed capacity.
+func (c *Cache) NeedsRoom(n int) bool { return len(c.entries)+n > c.capacity }
+
+// Victim returns the best eviction candidate: the least-recently-used,
+// lowest-priority entry, preferring clean over dirty (dirty victims force a
+// writeback on the caller). Pinned entries are skipped. Returns nil if no
+// candidate exists.
+func (c *Cache) Victim() *Entry {
+	// First pass: clean entries, lowest lane first.
+	for lane := 0; lane < NumPriorities; lane++ {
+		for el := c.lanes[lane].Front(); el != nil; el = el.Next() {
+			e := el.Value.(*Entry)
+			if !e.Pinned && !e.Dirty {
+				return e
+			}
+		}
+	}
+	// Second pass: accept a dirty victim.
+	for lane := 0; lane < NumPriorities; lane++ {
+		for el := c.lanes[lane].Front(); el != nil; el = el.Next() {
+			e := el.Value.(*Entry)
+			if !e.Pinned {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// Evict removes e and counts the eviction.
+func (c *Cache) Evict(e *Entry) {
+	if _, ok := c.entries[e.Key]; !ok {
+		return
+	}
+	c.lanes[e.lane].Remove(e.elem)
+	delete(c.entries, e.Key)
+	c.stats.Evictions++
+}
+
+// DirtyEntries returns all dirty entries (oldest first per lane), for the
+// background flusher and for flush-on-failure recovery.
+func (c *Cache) DirtyEntries() []*Entry {
+	var out []*Entry
+	for lane := 0; lane < NumPriorities; lane++ {
+		for el := c.lanes[lane].Front(); el != nil; el = el.Next() {
+			e := el.Value.(*Entry)
+			if e.Dirty {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Keys returns all cached keys (unspecified order).
+func (c *Cache) Keys() []Key {
+	out := make([]Key, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clear drops every entry without writeback (cold restart after a
+// membership change; dirty data must have been flushed by the caller).
+func (c *Cache) Clear() {
+	c.entries = make(map[Key]*Entry)
+	for i := range c.lanes {
+		c.lanes[i] = list.New()
+	}
+}
+
+// HitRate returns hits/(hits+misses), 0 when no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,66 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchOps runs n coherence operations through a 4-blade harness and
+// reports host time per simulated op.
+func benchOps(b *testing.B, body func(h *harness, p *sim.Proc, i int)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := newHarness(1, 4, 4096)
+		h.run(func(p *sim.Proc) {
+			for j := 0; j < 256; j++ {
+				body(h, p, j)
+			}
+		})
+	}
+}
+
+// BenchmarkLocalHit: repeated reads of one cached block on one blade.
+func BenchmarkLocalHit(b *testing.B) {
+	benchOps(b, func(h *harness, p *sim.Proc, i int) {
+		h.engines[0].ReadBlock(p, kb(1), 0)
+	})
+}
+
+// BenchmarkReadMiss: every read touches a fresh block (GetS + disk).
+func BenchmarkReadMiss(b *testing.B) {
+	benchOps(b, func(h *harness, p *sim.Proc, i int) {
+		h.engines[0].ReadBlock(p, kb(int64(i)), 0)
+	})
+}
+
+// BenchmarkWriteOwned: repeated writes to one owned block.
+func BenchmarkWriteOwned(b *testing.B) {
+	benchOps(b, func(h *harness, p *sim.Proc, i int) {
+		h.engines[0].WriteBlock(p, kb(1), blk(byte(i)), 0)
+	})
+}
+
+// BenchmarkOwnershipPingPong: two blades alternately writing one block —
+// the protocol's worst case (invalidate + migrate per write).
+func BenchmarkOwnershipPingPong(b *testing.B) {
+	benchOps(b, func(h *harness, p *sim.Proc, i int) {
+		h.engines[i%2].WriteBlock(p, kb(1), blk(byte(i)), 0)
+	})
+}
+
+// BenchmarkPeerFetch: a second blade reading blocks cached by the first
+// (served cache-to-cache, no disk).
+func BenchmarkPeerFetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness(1, 4, 4096)
+		h.run(func(p *sim.Proc) {
+			for j := 0; j < 128; j++ {
+				h.engines[0].ReadBlock(p, kb(int64(j)), 0)
+			}
+			for j := 0; j < 128; j++ {
+				h.engines[1].ReadBlock(p, kb(int64(j)), 0)
+			}
+		})
+	}
+}

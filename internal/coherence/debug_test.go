@@ -1,0 +1,68 @@
+package coherence
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRegressionFetchGoneStaleSharer replays the interleaving that exposed
+// a protocol bug: a home dropping a mid-install sharer on a Gone fetch
+// reply, leaving that blade with a permanently stale Shared copy. The fix
+// keeps Gone sharers registered (so invalidations still reach the copy
+// installed after the fetch); absent-entry downgrade replies still bump
+// the invalidation epoch.
+func TestRegressionFetchGoneStaleSharer(t *testing.T) {
+	seed := int64(1362837757380507544)
+	script := []uint16{0xf71c, 0xd9, 0xb696, 0x64cd, 0x44fc, 0x59b9, 0x2e44, 0xed75, 0xf9b4, 0x75af, 0x93cc, 0xc4, 0x3d8e, 0x88a, 0x2d9d, 0x8f63, 0x3ac3, 0x2c24, 0x82af, 0xe602, 0x93ec, 0xac35, 0x1565, 0x72cb}
+	h := newHarness(seed, 4, 16)
+	g := sim.NewGroup(h.k)
+	for i, op := range script {
+		if i >= 24 {
+			break
+		}
+		op := op
+		blade := int(op) % 4
+		lba := int64(op>>2) % 4
+		g.Add(1)
+		h.k.Go("w", func(p *sim.Proc) {
+			defer g.Done()
+			p.Sleep(sim.Duration(op%7) * sim.Millisecond)
+			if op%2 == 0 {
+				if err := h.engines[blade].WriteBlock(p, kb(lba), blk(byte(op>>8)|1), 0); err != nil {
+					t.Logf("write blade=%d lba=%d err=%v", blade, lba, err)
+				}
+			} else {
+				if _, err := h.engines[blade].ReadBlock(p, kb(lba), 0); err != nil {
+					t.Logf("read blade=%d lba=%d err=%v", blade, lba, err)
+				}
+			}
+		})
+	}
+	h.k.Go("check", func(p *sim.Proc) {
+		g.Wait(p)
+		p.Sleep(10 * sim.Millisecond)
+		for _, e := range h.engines {
+			e.FlushOnce(p, 0)
+		}
+		for lba := int64(0); lba < 4; lba++ {
+			var ref []byte
+			refBlade := -1
+			for bi, e := range h.engines {
+				d, err := e.ReadBlock(p, kb(lba), 0)
+				if err != nil {
+					t.Errorf("final read blade=%d lba=%d err=%v", bi, lba, err)
+					continue
+				}
+				if ref == nil {
+					ref, refBlade = d, bi
+				} else if !bytes.Equal(ref, d) {
+					t.Errorf("lba=%d disagreement: blade %d=%d vs blade %d=%d",
+						lba, refBlade, ref[0], bi, d[0])
+				}
+			}
+		}
+	})
+	h.k.Run()
+}

@@ -1,0 +1,471 @@
+// Package coherence implements the inter-controller cache coherence of §2.2:
+// a directory-based MSI protocol across controller blades. Every block has a
+// home blade (by rendezvous hash over the live membership) whose directory
+// entry serializes ownership transitions; blades cache Shared (clean) or
+// Modified (possibly dirty, exclusive) copies and exchange
+// GetS/GetX/Inv/Downgrade/Fetch messages over the blade fabric.
+//
+// Protocol invariants:
+//
+//  1. Directory Shared ⇒ every cached copy is clean AND the backing store
+//     is current.
+//  2. Directory Modified(o) ⇒ blade o holds the only copy; the backing
+//     store may be stale.
+//  3. A blade drops a Modified entry only after its data has reached the
+//     backing store (eviction writes back first), OR in response to an
+//     Inv-M whose requester is about to overwrite the whole block.
+//
+// Invariant 3 lets the home treat "owner no longer has it" replies as
+// "backing store is current".
+package coherence
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Backing is the stable store beneath the coherent cache — in the full
+// system, virtual volumes striped over RAID groups.
+type Backing interface {
+	ReadBlock(p *sim.Proc, key cache.Key) ([]byte, error)
+	WriteBlock(p *sim.Proc, key cache.Key, data []byte) error
+}
+
+// ErrNoQuorum is returned when no live blade can home a block.
+var ErrNoQuorum = errors.New("coherence: no live blades")
+
+// Config assembles an Engine.
+type Config struct {
+	// Conn is this blade's fabric RPC endpoint.
+	Conn *simnet.Conn
+	// Peers lists every blade's fabric address; index = blade ID.
+	Peers []simnet.Addr
+	// Self is this blade's ID (index into Peers).
+	Self int
+	// Cache is the blade's block cache.
+	Cache *cache.Cache
+	// Backing is the stable store.
+	Backing Backing
+	// BlockSize is the coherence granularity in bytes.
+	BlockSize int
+	// OpDelay is the CPU cost charged per client operation.
+	OpDelay sim.Duration
+	// HandlerDelay is the CPU cost charged per protocol message handled.
+	HandlerDelay sim.Duration
+	// CPUSlots bounds concurrently executing operations on this blade.
+	CPUSlots int
+	// ReplicateDirty, if non-nil, runs after a write installs dirty data
+	// and before the write is acknowledged (N-way replication hook, §6.1).
+	// factor is the per-write replication factor (0 = manager default),
+	// settable per file via the PFS policy metadata (§4).
+	ReplicateDirty func(p *sim.Proc, key cache.Key, data []byte, version uint64, factor int) error
+	// OnClean, if non-nil, runs when a dirty block reaches the backing
+	// store (replicas may be released).
+	OnClean func(key cache.Key, version uint64)
+	// NoPeerFetch disables cache-to-cache transfers on read misses
+	// (ablation: every shared miss then reads the backing store).
+	NoPeerFetch bool
+	// ReadAhead, when positive, prefetches this many following blocks
+	// after a detected sequential read run (§4).
+	ReadAhead int
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Reads, Writes int64 // client operations served
+	LocalHits     int64
+	PeerFetches   int64 // data served from another blade's cache
+	DiskReads     int64
+	Writebacks    int64 // dirty blocks destaged
+	Invalidations int64 // Inv/InvM messages handled
+	Downgrades    int64
+	DirRequests   int64 // GetS/GetX handled as home
+	WriteRetries  int64
+	Prefetches    int64 // readahead blocks pulled (§4)
+}
+
+type dirState uint8
+
+const (
+	dirInvalid dirState = iota
+	dirShared
+	dirModified
+)
+
+type dirEntry struct {
+	state   dirState
+	sharers map[int]bool
+	owner   int
+	mu      *sim.Mutex
+}
+
+// Engine runs the coherence protocol for one blade.
+type Engine struct {
+	k         *sim.Kernel
+	conn      *simnet.Conn
+	peers     []simnet.Addr
+	self      int
+	cache     *cache.Cache
+	backing   Backing
+	blockSize int
+	opDelay   sim.Duration
+	hdlDelay  sim.Duration
+	cpu       *sim.Semaphore
+
+	alive []int // sorted live blade IDs; must agree across blades
+
+	dir      map[cache.Key]*dirEntry
+	invEpoch map[cache.Key]uint64
+
+	replicate func(p *sim.Proc, key cache.Key, data []byte, version uint64, factor int) error
+	onClean   func(key cache.Key, version uint64)
+
+	stats Stats
+	// down mirrors the cluster's view of this blade; a down engine
+	// rejects client operations.
+	down        bool
+	noPeerFetch bool
+
+	readAhead   int
+	lastSeq     map[string]int64
+	seqStreak   map[string]int
+	prefetching map[cache.Key]bool
+}
+
+// Message and reply payloads. Wire sizes: control ~64 B, data adds the block.
+const ctrlSize = 64
+
+type getSReq struct{ Key cache.Key }
+type getSResp struct {
+	Data []byte // non-nil: serve from this payload (peer cache transfer)
+	// NoCache marks data forwarded from a dirty owner: the requester
+	// serves it but must not install a Shared copy (the owner retains
+	// exclusive ownership until its data is destaged).
+	NoCache bool
+	Err     string
+}
+type getXReq struct{ Key cache.Key }
+type getXResp struct{ Err string }
+type invReq struct{ Key cache.Key }
+type invResp struct{}
+type invMReq struct{ Key cache.Key }
+type invMResp struct{ Gone bool }
+type downgradeReq struct{ Key cache.Key }
+type downgradeResp struct {
+	Gone bool
+	Data []byte
+	// StillDirty reports that the owner forwarded dirty data without a
+	// writeback and keeps ownership; the home must leave the directory
+	// in Modified state and the requester must not cache the data.
+	StillDirty bool
+}
+type fetchReq struct{ Key cache.Key }
+type fetchResp struct {
+	Gone bool
+	Data []byte
+}
+type evictNote struct {
+	Key      cache.Key
+	From     int
+	WasOwner bool
+}
+
+// New builds an engine and registers its protocol handlers on cfg.Conn.
+func New(k *sim.Kernel, cfg Config) *Engine {
+	if cfg.BlockSize <= 0 {
+		panic("coherence: BlockSize required")
+	}
+	slots := cfg.CPUSlots
+	if slots <= 0 {
+		slots = 4
+	}
+	e := &Engine{
+		k:           k,
+		conn:        cfg.Conn,
+		peers:       cfg.Peers,
+		self:        cfg.Self,
+		cache:       cfg.Cache,
+		backing:     cfg.Backing,
+		blockSize:   cfg.BlockSize,
+		opDelay:     cfg.OpDelay,
+		hdlDelay:    cfg.HandlerDelay,
+		cpu:         sim.NewSemaphore(k, slots),
+		dir:         make(map[cache.Key]*dirEntry),
+		invEpoch:    make(map[cache.Key]uint64),
+		replicate:   cfg.ReplicateDirty,
+		onClean:     cfg.OnClean,
+		noPeerFetch: cfg.NoPeerFetch,
+		readAhead:   cfg.ReadAhead,
+		lastSeq:     make(map[string]int64),
+		seqStreak:   make(map[string]int),
+		prefetching: make(map[cache.Key]bool),
+	}
+	for i := range cfg.Peers {
+		e.alive = append(e.alive, i)
+	}
+	e.conn.Register("coh.gets", e.handleGetS)
+	e.conn.Register("coh.getx", e.handleGetX)
+	e.conn.Register("coh.inv", e.handleInv)
+	e.conn.Register("coh.invm", e.handleInvM)
+	e.conn.Register("coh.downgrade", e.handleDowngrade)
+	e.conn.Register("coh.fetch", e.handleFetch)
+	e.conn.Register("coh.evict", e.handleEvictNote)
+	return e
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Cache returns the blade's cache (for inspection).
+func (e *Engine) Cache() *cache.Cache { return e.cache }
+
+// Self returns this blade's ID.
+func (e *Engine) Self() int { return e.self }
+
+// Alive returns the engine's current membership view.
+func (e *Engine) Alive() []int { return append([]int(nil), e.alive...) }
+
+// SetDown marks the engine up or down; down engines refuse client I/O.
+func (e *Engine) SetDown(down bool) { e.down = down }
+
+// home returns the blade ID that homes key under the current membership.
+func (e *Engine) home(key cache.Key) (int, error) {
+	if len(e.alive) == 0 {
+		return -1, ErrNoQuorum
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", key.Vol, key.LBA)
+	return e.alive[h.Sum64()%uint64(len(e.alive))], nil
+}
+
+// Busy charges d of CPU time against this blade's processor — used by
+// cluster services (e.g. rebuild XOR compute, §2.4) that share the blade
+// with the I/O path.
+func (e *Engine) Busy(p *sim.Proc, d sim.Duration) { e.busy(p, d) }
+
+// busy charges CPU for one operation of duration d.
+func (e *Engine) busy(p *sim.Proc, d sim.Duration) {
+	e.cpu.Acquire(p, 1)
+	p.Sleep(d)
+	e.cpu.Release(1)
+}
+
+func (e *Engine) entry(key cache.Key) *dirEntry {
+	ent, ok := e.dir[key]
+	if !ok {
+		ent = &dirEntry{sharers: make(map[int]bool), mu: sim.NewMutex(e.k)}
+		e.dir[key] = ent
+	}
+	return ent
+}
+
+// ReadBlock returns the content of key's block, serving from the local
+// cache when possible and running the coherence protocol otherwise. When
+// readahead is configured, a detected sequential run asynchronously pulls
+// the following blocks into the cache (§4: "storage prefetch operations").
+func (e *Engine) ReadBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, error) {
+	data, err := e.readBlock(p, key, priority)
+	if err == nil {
+		e.maybeReadAhead(key, priority)
+	}
+	return data, err
+}
+
+func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, error) {
+	if e.down {
+		return nil, fmt.Errorf("coherence: blade %d down", e.self)
+	}
+	e.stats.Reads++
+	e.busy(p, e.opDelay)
+	if ent, ok := e.cache.Get(key); ok && ent.State != cache.Invalid {
+		e.stats.LocalHits++
+		trace(key, "t=%v blade%d read HIT state=%v dirty=%v v=%d d0=%d", p.Now(), e.self, ent.State, ent.Dirty, ent.Version, ent.Data[0])
+		return append([]byte(nil), ent.Data...), nil
+	}
+	homeID, err := e.home(key)
+	if err != nil {
+		return nil, err
+	}
+	epoch := e.invEpoch[key]
+	raw, err := e.conn.Call(p, e.peers[homeID], "coh.gets", getSReq{Key: key}, ctrlSize)
+	if err != nil {
+		return nil, fmt.Errorf("coherence: gets to blade %d: %w", homeID, err)
+	}
+	resp := raw.(getSResp)
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	var data []byte
+	if resp.Data != nil {
+		e.stats.PeerFetches++
+		data = resp.Data
+	} else {
+		e.stats.DiskReads++
+		data, err = e.backing.ReadBlock(p, key)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if resp.NoCache {
+		// Forwarded from a dirty owner: serve without installing.
+		return data, nil
+	}
+	if e.invEpoch[key] == epoch {
+		e.makeRoom(p)
+		// makeRoom may block on writeback; re-check that no invalidation
+		// arrived meanwhile before installing the Shared copy.
+		if e.invEpoch[key] == epoch {
+			e.cache.Put(key, data, cache.Shared, false, priority)
+			trace(key, "t=%v blade%d read MISS install S d0=%d (peer=%v)", p.Now(), e.self, data[0], resp.Data != nil)
+		}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// WriteBlock stores a full block, acquiring exclusive ownership first.
+// The write is acknowledged once the data is in this blade's cache (and
+// replicated, if a replication hook is installed); destage to the backing
+// store is asynchronous (§6.1).
+func (e *Engine) WriteBlock(p *sim.Proc, key cache.Key, data []byte, priority int) error {
+	return e.WriteBlockR(p, key, data, priority, 0)
+}
+
+// WriteBlockR is WriteBlock with an explicit replication factor
+// (0 = the replication manager's default) — the per-file "controller level
+// fault tolerance for write-back I/O operations" override of §4.
+func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, replFactor int) error {
+	if e.down {
+		return fmt.Errorf("coherence: blade %d down", e.self)
+	}
+	if len(data) != e.blockSize {
+		return fmt.Errorf("coherence: write of %d bytes, block size %d", len(data), e.blockSize)
+	}
+	e.stats.Writes++
+	e.busy(p, e.opDelay)
+	homeID, err := e.home(key)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		epoch := e.invEpoch[key]
+		raw, err := e.conn.Call(p, e.peers[homeID], "coh.getx", getXReq{Key: key}, ctrlSize)
+		if err != nil {
+			return fmt.Errorf("coherence: getx to blade %d: %w", homeID, err)
+		}
+		if resp := raw.(getXResp); resp.Err != "" {
+			return errors.New(resp.Err)
+		}
+		if e.invEpoch[key] != epoch {
+			// Someone took ownership between our grant and install. Retry
+			// after a jittered backoff: two writers stealing ownership from
+			// each other before either installs would otherwise livelock.
+			e.stats.WriteRetries++
+			if attempt > 64 {
+				return fmt.Errorf("coherence: write to %v livelocked after %d attempts", key, attempt)
+			}
+			backoff := sim.Duration(attempt+1) * 10 * sim.Microsecond
+			backoff += sim.Duration(e.k.Rand().Int63n(int64(50 * sim.Microsecond)))
+			p.Sleep(backoff)
+			continue
+		}
+		stored := append([]byte(nil), data...)
+		var entry *cache.Entry
+		if ex, ok := e.cache.Peek(key); ok {
+			ex.Data = stored
+			ex.State = cache.Modified
+			ex.Dirty = true
+			ex.Version++
+			entry = ex
+			trace(key, "t=%v blade%d write in-place M d0=%d v=%d", p.Now(), e.self, stored[0], ex.Version)
+		} else {
+			e.makeRoom(p)
+			// makeRoom may block on writeback; if ownership was stolen
+			// meanwhile, installing M now would create a second owner.
+			if e.invEpoch[key] != epoch {
+				e.stats.WriteRetries++
+				continue
+			}
+			entry = e.cache.Put(key, stored, cache.Modified, true, priority)
+			entry.Version++
+			trace(key, "t=%v blade%d write install M d0=%d", p.Now(), e.self, stored[0])
+		}
+		if e.replicate != nil {
+			if err := e.replicate(p, key, stored, entry.Version, replFactor); err != nil {
+				return fmt.Errorf("coherence: replication: %w", err)
+			}
+		}
+		return nil
+	}
+}
+
+// makeRoom evicts until one insertion fits, writing dirty victims back.
+func (e *Engine) makeRoom(p *sim.Proc) {
+	for e.cache.NeedsRoom(1) {
+		v := e.cache.Victim()
+		if v == nil {
+			return
+		}
+		if v.Dirty {
+			v.Pinned = true
+			ver := v.Version
+			err := e.backing.WriteBlock(p, v.Key, v.Data)
+			v.Pinned = false
+			if err != nil || v.Version != ver {
+				continue // updated mid-writeback (or store error): reselect
+			}
+			v.Dirty = false
+			e.stats.Writebacks++
+			if e.onClean != nil {
+				e.onClean(v.Key, ver)
+			}
+		}
+		wasOwner := v.State == cache.Modified
+		trace(v.Key, "t=%v blade%d evict state=%v", e.k.Now(), e.self, v.State)
+		e.cache.Evict(v)
+		// Fire-and-forget directory notice; staleness is tolerated.
+		if homeID, err := e.home(v.Key); err == nil {
+			e.conn.Go(e.peers[homeID], "coh.evict",
+				evictNote{Key: v.Key, From: e.self, WasOwner: wasOwner}, ctrlSize, 0)
+		}
+	}
+}
+
+// maybeReadAhead detects sequential read runs per volume and pulls the
+// next ReadAhead blocks into the cache in the background.
+func (e *Engine) maybeReadAhead(key cache.Key, priority int) {
+	if e.readAhead <= 0 {
+		return
+	}
+	if key.LBA == e.lastSeq[key.Vol]+1 {
+		e.seqStreak[key.Vol]++
+	} else {
+		e.seqStreak[key.Vol] = 0
+	}
+	e.lastSeq[key.Vol] = key.LBA
+	if e.seqStreak[key.Vol] < 2 {
+		return
+	}
+	for i := int64(1); i <= int64(e.readAhead); i++ {
+		next := cache.Key{Vol: key.Vol, LBA: key.LBA + i}
+		if _, ok := e.cache.Peek(next); ok {
+			continue
+		}
+		if e.prefetching[next] {
+			continue
+		}
+		e.prefetching[next] = true
+		e.k.Go("readahead", func(q *sim.Proc) {
+			defer delete(e.prefetching, next)
+			if e.down {
+				return
+			}
+			e.stats.Prefetches++
+			e.readBlock(q, next, priority)
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package coherence
+
+import (
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// FlushOnce destages up to max dirty blocks (all if max ≤ 0), returning the
+// number written back. Destages are issued concurrently (bounded) so the
+// drain rate tracks the disk array, not a single operation's latency.
+func (e *Engine) FlushOnce(p *sim.Proc, max int) int {
+	dirty := e.cache.DirtyEntries()
+	n := 0
+	grp := sim.NewGroup(e.k)
+	inFlight := sim.NewSemaphore(e.k, 16)
+	for _, ent := range dirty {
+		if max > 0 && n >= max {
+			break
+		}
+		if ent.Pinned || !ent.Dirty {
+			continue
+		}
+		ent := ent
+		ent.Pinned = true
+		ver := ent.Version
+		n++
+		grp.Add(1)
+		e.k.Go("destage", func(q *sim.Proc) {
+			defer grp.Done()
+			inFlight.Acquire(q, 1)
+			defer inFlight.Release(1)
+			err := e.backing.WriteBlock(q, ent.Key, ent.Data)
+			ent.Pinned = false
+			if err != nil {
+				return
+			}
+			if ent.Version == ver {
+				ent.Dirty = false
+				e.stats.Writebacks++
+				if e.onClean != nil {
+					e.onClean(ent.Key, ver)
+				}
+			}
+		})
+	}
+	grp.Wait(p)
+	return n
+}
+
+// StartFlusher launches the background write-back process: every interval
+// it destages up to batch dirty blocks. §6.1: "replicated data would be
+// locked in cache only long enough for the data to be asynchronously
+// written to disk." The returned function stops the flusher (it exits at
+// its next tick, so the simulation's event queue can drain).
+func (e *Engine) StartFlusher(interval sim.Duration, batch int) (stop func()) {
+	stopped := false
+	e.k.Go("flusher", func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			if stopped || e.down {
+				return
+			}
+			e.FlushOnce(p, batch)
+		}
+	})
+	return func() { stopped = true }
+}
+
+// Recover transitions the engine to a new membership after blade failures
+// or additions: it destages every dirty block, drops all cached state and
+// the entire directory shard, and installs the new live set. The cluster
+// layer must run Recover on every surviving blade before resuming I/O so
+// that all blades agree on block homes.
+func (e *Engine) Recover(p *sim.Proc, alive []int) {
+	e.FlushOnce(p, 0)
+	e.cache.Clear()
+	e.dir = make(map[cache.Key]*dirEntry)
+	e.invEpoch = make(map[cache.Key]uint64)
+	e.alive = append([]int(nil), alive...)
+	sort.Ints(e.alive)
+}
+
+// DirtyBlocks reports how many dirty blocks the cache currently holds.
+func (e *Engine) DirtyBlocks() int { return len(e.cache.DirtyEntries()) }

@@ -1,0 +1,249 @@
+package coherence
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// peerTimeout bounds protocol calls to other blades: a blade that died
+// mid-protocol is detected here and treated per invariant 3.
+const peerTimeout = 2 * sim.Second
+
+func bladeID(peers []simnet.Addr, addr simnet.Addr) int {
+	for i, a := range peers {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleGetS serves a read-share request as the home blade.
+func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(getSReq)
+	requester := bladeID(e.peers, from)
+	e.stats.DirRequests++
+	e.busy(p, e.hdlDelay)
+	ent := e.entry(req.Key)
+	ent.mu.Lock(p)
+	defer ent.mu.Unlock()
+
+	trace(req.Key, "t=%v home%d GETS from %d state=%d owner=%d sharers=%v", e.k.Now(), e.self, requester, ent.state, ent.owner, ent.sharers)
+	switch ent.state {
+	case dirInvalid:
+		ent.state = dirShared
+		ent.sharers = map[int]bool{requester: true}
+		return getSResp{}, ctrlSize // backing store is current
+
+	case dirShared:
+		// Peer-cache transfer: try to serve from an existing sharer's
+		// memory instead of disk ("cache data migrated to where it is
+		// most needed", §6.3).
+		var data []byte
+		if e.noPeerFetch {
+			ent.sharers[requester] = true
+			return getSResp{}, ctrlSize
+		}
+		for s := range ent.sharers {
+			if s == requester {
+				continue
+			}
+			raw, err := e.conn.CallTimeout(p, e.peers[s], "coh.fetch", fetchReq{Key: req.Key}, ctrlSize, peerTimeout)
+			if err != nil {
+				// Unreachable (dead) sharer: drop it so GetX invalidations
+				// don't stall on it later.
+				delete(ent.sharers, s)
+				continue
+			}
+			if fr := raw.(fetchResp); !fr.Gone {
+				data = fr.Data
+			}
+			// A Gone sharer stays registered: it may be mid-install from
+			// its own grant (entry not placed yet) or have evicted (the
+			// async notice will clean up). Keeping it costs at most a
+			// redundant invalidation; removing it would strand a copy
+			// installed after this fetch, out of reach of invalidations.
+			break
+		}
+		ent.sharers[requester] = true
+		return getSResp{Data: data}, ctrlSize + len(data)
+
+	default: // dirModified
+		owner := ent.owner
+		if owner == requester {
+			// Stale directory: the owner evicted (writing back first,
+			// invariant 3) and is re-reading. Backing store is current.
+			ent.state = dirShared
+			ent.sharers = map[int]bool{requester: true}
+			return getSResp{}, ctrlSize
+		}
+		raw, err := e.conn.CallTimeout(p, e.peers[owner], "coh.downgrade", downgradeReq{Key: req.Key}, ctrlSize, peerTimeout)
+		if err == nil {
+			dr := raw.(downgradeResp)
+			if dr.StillDirty {
+				// Owner-forwarding: the dirty owner serves the read
+				// directly and keeps exclusive ownership; the reader
+				// must not cache. Once the owner's flusher destages,
+				// the next GetS downgrades cheaply to Shared.
+				return getSResp{Data: dr.Data, NoCache: true}, ctrlSize + len(dr.Data)
+			}
+			if !dr.Gone {
+				// Clean owner downgraded to Shared; backing store is
+				// current (the copy was clean).
+				ent.state = dirShared
+				ent.sharers = map[int]bool{requester: true, owner: true}
+				return getSResp{Data: dr.Data}, ctrlSize + len(dr.Data)
+			}
+		}
+		// Gone or dead owner: per invariant 3 the backing store is
+		// current.
+		ent.state = dirShared
+		ent.sharers = map[int]bool{requester: true}
+		return getSResp{}, ctrlSize
+	}
+}
+
+// handleGetX serves an exclusive-ownership request as the home blade.
+// The requester is about to overwrite the whole block, so no data flows.
+func (e *Engine) handleGetX(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(getXReq)
+	requester := bladeID(e.peers, from)
+	e.stats.DirRequests++
+	e.busy(p, e.hdlDelay)
+	ent := e.entry(req.Key)
+	ent.mu.Lock(p)
+	defer ent.mu.Unlock()
+
+	trace(req.Key, "t=%v home%d GETX from %d state=%d owner=%d sharers=%v", e.k.Now(), e.self, requester, ent.state, ent.owner, ent.sharers)
+	switch ent.state {
+	case dirShared:
+		// Invalidate every other sharer in parallel.
+		grp := sim.NewGroup(e.k)
+		for s := range ent.sharers {
+			if s == requester {
+				continue
+			}
+			s := s
+			grp.Add(1)
+			e.k.Go("inv", func(q *sim.Proc) {
+				defer grp.Done()
+				e.conn.CallTimeout(q, e.peers[s], "coh.inv", invReq{Key: req.Key}, ctrlSize, peerTimeout)
+			})
+		}
+		grp.Wait(p)
+
+	case dirModified:
+		if ent.owner != requester {
+			e.conn.CallTimeout(p, e.peers[ent.owner], "coh.invm", invMReq{Key: req.Key}, ctrlSize, peerTimeout)
+		}
+	}
+	ent.state = dirModified
+	ent.owner = requester
+	ent.sharers = make(map[int]bool)
+	return getXResp{}, ctrlSize
+}
+
+// handleInv drops a Shared copy.
+func (e *Engine) handleInv(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(invReq)
+	e.stats.Invalidations++
+	trace(req.Key, "t=%v blade%d INV", e.k.Now(), e.self)
+	e.invEpoch[req.Key]++
+	if ent, ok := e.cache.Peek(req.Key); ok {
+		e.cache.Remove(ent.Key)
+	}
+	return invResp{}, ctrlSize
+}
+
+// handleInvM surrenders Modified ownership to a blade about to overwrite
+// the block. The dirty payload (if any) is superseded, so it is dropped
+// without a writeback; the home directory records the new owner.
+func (e *Engine) handleInvM(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(invMReq)
+	e.stats.Invalidations++
+	trace(req.Key, "t=%v blade%d INVM", e.k.Now(), e.self)
+	e.invEpoch[req.Key]++
+	ent, ok := e.cache.Peek(req.Key)
+	if !ok {
+		return invMResp{Gone: true}, ctrlSize
+	}
+	// A writeback may be mid-flight for this entry; wait it out so the
+	// backing-store writes of old and new owner cannot interleave.
+	for ent.Pinned {
+		p.Sleep(50 * sim.Microsecond)
+	}
+	e.cache.Remove(req.Key)
+	return invMResp{}, ctrlSize
+}
+
+// handleDowngrade resolves a read of this blade's Modified copy. A clean
+// copy downgrades to Shared (the backing store already matches, so
+// invariant 1 holds). A dirty copy is NOT written back: its data is
+// forwarded to the reader while this blade keeps exclusive ownership —
+// owner-forwarding, which spares the read path the synchronous RAID
+// writeback; the background flusher destages and a later read completes
+// the downgrade cheaply.
+//
+// If the entry is absent — either evicted (notice in flight) or not yet
+// installed by an in-flight grant — the epoch bump aborts any pending
+// install here, so replying Gone is safe: this blade holds and will hold
+// nothing for the key until it re-requests.
+func (e *Engine) handleDowngrade(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(downgradeReq)
+	e.stats.Downgrades++
+	trace(req.Key, "t=%v blade%d DOWNGRADE", e.k.Now(), e.self)
+	ent, ok := e.cache.Peek(req.Key)
+	if !ok {
+		e.invEpoch[req.Key]++
+		return downgradeResp{Gone: true}, ctrlSize
+	}
+	for ent.Pinned {
+		p.Sleep(50 * sim.Microsecond)
+	}
+	if _, still := e.cache.Peek(req.Key); !still {
+		e.invEpoch[req.Key]++
+		return downgradeResp{Gone: true}, ctrlSize
+	}
+	if ent.Dirty {
+		return downgradeResp{Data: append([]byte(nil), ent.Data...), StillDirty: true}, ctrlSize + len(ent.Data)
+	}
+	ent.State = cache.Shared
+	return downgradeResp{Data: append([]byte(nil), ent.Data...)}, ctrlSize + len(ent.Data)
+}
+
+// handleFetch serves a peer-cache read of a Shared block. A Gone reply is
+// informational only: the home keeps this blade in the sharer set (we may
+// be mid-install from our own grant), so future invalidations still reach
+// us and no epoch bump is needed here.
+func (e *Engine) handleFetch(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(fetchReq)
+	ent, ok := e.cache.Peek(req.Key)
+	if !ok || ent.State == cache.Invalid {
+		trace(req.Key, "t=%v blade%d FETCH gone", e.k.Now(), e.self)
+		return fetchResp{Gone: true}, ctrlSize
+	}
+	e.busy(p, e.hdlDelay)
+	return fetchResp{Data: append([]byte(nil), ent.Data...)}, ctrlSize + len(ent.Data)
+}
+
+// handleEvictNote processes an asynchronous eviction notice.
+func (e *Engine) handleEvictNote(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	note := args.(evictNote)
+	ent, ok := e.dir[note.Key]
+	if !ok {
+		return nil, 0
+	}
+	switch ent.state {
+	case dirShared:
+		delete(ent.sharers, note.From)
+		if len(ent.sharers) == 0 {
+			ent.state = dirInvalid
+		}
+	case dirModified:
+		if note.WasOwner && ent.owner == note.From {
+			ent.state = dirInvalid // backing store current, invariant 3
+		}
+	}
+	return nil, 0
+}

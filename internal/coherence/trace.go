@@ -1,0 +1,15 @@
+package coherence
+
+import "repro/internal/cache"
+
+// traceFn, when non-nil, receives a protocol event line for every operation
+// touching traceKey. Tests set this to debug protocol interleavings; it is
+// nil in production use.
+var traceFn func(format string, args ...any)
+var traceKey cache.Key
+
+func trace(key cache.Key, format string, args ...any) {
+	if traceFn != nil && key == traceKey {
+		traceFn(format, args...)
+	}
+}

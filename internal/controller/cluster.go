@@ -1,0 +1,339 @@
+// Package controller assembles the paper's architecture: an array of
+// controller blades working "cooperatively as a single parallel computer to
+// manage storage" (§2.1). Each blade couples a coherent block cache
+// (internal/coherence), an N-way replication manager (internal/replication)
+// and shared access to the virtualized disk pool (internal/virt over
+// internal/raid over internal/disk), joined by a Fibre Channel fabric
+// (internal/simnet). Any blade can serve any block of any volume.
+package controller
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/virt"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// Blades is the number of controller blades.
+	Blades int
+	// CacheBlocksPerBlade sizes each blade's cache (§2.2: "field
+	// extendable cache memory ... pooled across controller blades").
+	CacheBlocksPerBlade int
+	// ReplicationN is the number of cache copies per dirty block
+	// (1 = no replication, the traditional write-back exposure).
+	ReplicationN int
+
+	// Disks is the total number of drives in the farm.
+	Disks int
+	// DisksPerGroup is the RAID group width.
+	DisksPerGroup int
+	// RAIDLevel selects the group layout.
+	RAIDLevel raid.Level
+	// DiskSpec describes each drive; zero value = disk.DefaultSpec().
+	DiskSpec disk.Spec
+	// ExtentBlocks is the virtualization extent size in blocks.
+	ExtentBlocks int64
+
+	// OpDelay is CPU time per block operation on a blade.
+	OpDelay sim.Duration
+	// HandlerDelay is CPU time per coherence message handled.
+	HandlerDelay sim.Duration
+	// CPUSlots bounds a blade's concurrent operations.
+	CPUSlots int
+	// FabricLink is the blade interconnect; zero value = simnet.FC2G.
+	FabricLink simnet.LinkSpec
+	// FlushInterval drives the background destager (0 = 20 ms).
+	FlushInterval sim.Duration
+	// NoPeerFetch disables cache-to-cache transfers (ablation).
+	NoPeerFetch bool
+	// ReadAhead prefetches this many blocks after sequential read runs.
+	ReadAhead int
+}
+
+// DefaultConfig returns a mid-size lab configuration: 4 blades, RAID-5
+// groups of 5 over 20 disks.
+func DefaultConfig() Config {
+	return Config{
+		Blades:              4,
+		CacheBlocksPerBlade: 4096,
+		ReplicationN:        2,
+		Disks:               20,
+		DisksPerGroup:       5,
+		RAIDLevel:           raid.RAID5,
+		ExtentBlocks:        256,
+		OpDelay:             10 * sim.Microsecond,
+		HandlerDelay:        5 * sim.Microsecond,
+		CPUSlots:            4,
+	}
+}
+
+// Blade is one controller blade.
+type Blade struct {
+	ID     int
+	Addr   simnet.Addr
+	Conn   *simnet.Conn
+	Engine *coherence.Engine
+	Repl   *replication.Manager
+	Down   bool
+	// Ops counts client block operations served by this blade (the E3
+	// load-balance metric).
+	Ops int64
+
+	stopFlusher func()
+}
+
+// Cluster is a single-site blade cluster over a shared disk pool.
+type Cluster struct {
+	K      *sim.Kernel
+	Net    *simnet.Network
+	Cfg    Config
+	Blades []*Blade
+	Farm   *disk.Farm
+	Groups []*raid.Group
+	Pool   *virt.Pool
+	// classPools holds additional storage classes (see AddClass).
+	classPools map[string]*virt.Pool
+
+	// Errors counts client operations that failed (E10 availability).
+	Errors int64
+	rr     int // round-robin cursor for load balancing
+}
+
+// poolBacking adapts the cluster's pools to the coherence Backing
+// interface, resolving volume names across every storage class.
+type poolBacking struct{ c *Cluster }
+
+func (b poolBacking) volume(name string) (*virt.Volume, error) {
+	if v := b.c.findVolume(name); v != nil {
+		return v, nil
+	}
+	return nil, fmt.Errorf("controller: no volume %q", name)
+}
+
+func (b poolBacking) ReadBlock(p *sim.Proc, key cache.Key) ([]byte, error) {
+	v, err := b.volume(key.Vol)
+	if err != nil {
+		return nil, err
+	}
+	return v.Read(p, key.LBA, 1)
+}
+
+func (b poolBacking) WriteBlock(p *sim.Proc, key cache.Key, data []byte) error {
+	v, err := b.volume(key.Vol)
+	if err != nil {
+		return err
+	}
+	return v.Write(p, key.LBA, data)
+}
+
+// New builds a cluster on k per cfg.
+func New(k *sim.Kernel, cfg Config) (*Cluster, error) {
+	if cfg.Blades <= 0 {
+		return nil, errors.New("controller: need at least one blade")
+	}
+	if cfg.DiskSpec.BlockSize == 0 {
+		cfg.DiskSpec = disk.DefaultSpec()
+	}
+	if cfg.FabricLink == (simnet.LinkSpec{}) {
+		cfg.FabricLink = simnet.FC2G
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 20 * sim.Millisecond
+	}
+	if cfg.ExtentBlocks == 0 {
+		cfg.ExtentBlocks = 256
+	}
+	if cfg.DisksPerGroup <= 0 || cfg.Disks%cfg.DisksPerGroup != 0 {
+		return nil, fmt.Errorf("controller: %d disks not divisible into groups of %d", cfg.Disks, cfg.DisksPerGroup)
+	}
+
+	net := simnet.New(k)
+	c := &Cluster{K: k, Net: net, Cfg: cfg, classPools: make(map[string]*virt.Pool)}
+
+	// Disk farm and RAID groups.
+	c.Farm = disk.NewFarm(k, "disk", cfg.Disks, cfg.DiskSpec)
+	var devices []virt.BlockDevice
+	for g := 0; g < cfg.Disks/cfg.DisksPerGroup; g++ {
+		grp, err := raid.NewGroup(k, cfg.RAIDLevel, c.Farm.Disks[g*cfg.DisksPerGroup:(g+1)*cfg.DisksPerGroup])
+		if err != nil {
+			return nil, err
+		}
+		c.Groups = append(c.Groups, grp)
+		devices = append(devices, grp)
+	}
+	pool, err := virt.NewPool(k, cfg.ExtentBlocks, devices...)
+	if err != nil {
+		return nil, err
+	}
+	c.Pool = pool
+
+	// Blades on the fabric.
+	peers := make([]simnet.Addr, cfg.Blades)
+	for i := range peers {
+		peers[i] = simnet.Addr(fmt.Sprintf("blade%d", i))
+		net.Connect(peers[i], "fabric", cfg.FabricLink)
+	}
+	backing := poolBacking{c: c}
+	for i := 0; i < cfg.Blades; i++ {
+		conn := simnet.NewConn(net, peers[i])
+		repl := replication.New(k, conn, peers, i, cfg.ReplicationN)
+		engCfg := coherence.Config{
+			Conn:         conn,
+			Peers:        peers,
+			Self:         i,
+			Cache:        cache.New(cfg.CacheBlocksPerBlade),
+			Backing:      backing,
+			BlockSize:    cfg.DiskSpec.BlockSize,
+			OpDelay:      cfg.OpDelay,
+			HandlerDelay: cfg.HandlerDelay,
+			CPUSlots:     cfg.CPUSlots,
+			NoPeerFetch:  cfg.NoPeerFetch,
+			ReadAhead:    cfg.ReadAhead,
+		}
+		if cfg.ReplicationN > 1 {
+			engCfg.ReplicateDirty = repl.ReplicateDirty
+			engCfg.OnClean = repl.OnClean
+		}
+		eng := coherence.New(k, engCfg)
+		b := &Blade{ID: i, Addr: peers[i], Conn: conn, Engine: eng, Repl: repl}
+		b.stopFlusher = eng.StartFlusher(cfg.FlushInterval, 64)
+		c.Blades = append(c.Blades, b)
+	}
+	return c, nil
+}
+
+// Stop halts background processes so the simulation's event queue drains.
+func (c *Cluster) Stop() {
+	for _, b := range c.Blades {
+		if b.stopFlusher != nil {
+			b.stopFlusher()
+		}
+	}
+}
+
+// BlockSize returns the cluster's block size in bytes.
+func (c *Cluster) BlockSize() int { return c.Pool.BlockSize() }
+
+// Alive returns the IDs of blades not marked down.
+func (c *Cluster) Alive() []int {
+	var out []int
+	for _, b := range c.Blades {
+		if !b.Down {
+			out = append(out, b.ID)
+		}
+	}
+	return out
+}
+
+// PickBlade returns a live blade round-robin — the host-side load
+// balancing of §2.2. Returns nil if every blade is down.
+func (c *Cluster) PickBlade() *Blade {
+	for i := 0; i < len(c.Blades); i++ {
+		b := c.Blades[c.rr%len(c.Blades)]
+		c.rr++
+		if !b.Down {
+			return b
+		}
+	}
+	return nil
+}
+
+// Blade returns blade id, or nil when out of range.
+func (c *Cluster) Blade(id int) *Blade {
+	if id < 0 || id >= len(c.Blades) {
+		return nil
+	}
+	return c.Blades[id]
+}
+
+// Read reads count blocks of volume vol at lba through blade b, running
+// per-block coherence operations in parallel.
+func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, priority int) ([]byte, error) {
+	if b == nil || b.Down {
+		c.Errors++
+		return nil, errors.New("controller: blade unavailable")
+	}
+	bs := c.BlockSize()
+	buf := make([]byte, count*bs)
+	grp := sim.NewGroup(c.K)
+	var firstErr error
+	for i := 0; i < count; i++ {
+		i := i
+		grp.Add(1)
+		c.K.Go("read", func(q *sim.Proc) {
+			defer grp.Done()
+			d, err := b.Engine.ReadBlock(q, cache.Key{Vol: vol, LBA: lba + int64(i)}, priority)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			copy(buf[i*bs:], d)
+		})
+	}
+	grp.Wait(p)
+	b.Ops += int64(count)
+	if firstErr != nil {
+		c.Errors++
+		return nil, firstErr
+	}
+	return buf, nil
+}
+
+// Write stores block-aligned data to volume vol at lba through blade b.
+func (c *Cluster) Write(p *sim.Proc, b *Blade, vol string, lba int64, data []byte, priority int) error {
+	return c.WriteR(p, b, vol, lba, data, priority, 0)
+}
+
+// WriteR is Write with an explicit per-write replication factor
+// (0 = cluster default), used by the PFS per-file policies (§4).
+func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []byte, priority, replFactor int) error {
+	if b == nil || b.Down {
+		c.Errors++
+		return errors.New("controller: blade unavailable")
+	}
+	bs := c.BlockSize()
+	if len(data)%bs != 0 {
+		return fmt.Errorf("controller: write of %d bytes not block-aligned", len(data))
+	}
+	count := len(data) / bs
+	grp := sim.NewGroup(c.K)
+	var firstErr error
+	for i := 0; i < count; i++ {
+		i := i
+		grp.Add(1)
+		c.K.Go("write", func(q *sim.Proc) {
+			defer grp.Done()
+			err := b.Engine.WriteBlockR(q, cache.Key{Vol: vol, LBA: lba + int64(i)}, data[i*bs:(i+1)*bs], priority, replFactor)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	grp.Wait(p)
+	b.Ops += int64(count)
+	if firstErr != nil {
+		c.Errors++
+		return firstErr
+	}
+	return nil
+}
+
+// FlushAll synchronously destages every blade's dirty blocks.
+func (c *Cluster) FlushAll(p *sim.Proc) {
+	for _, b := range c.Blades {
+		if !b.Down {
+			b.Engine.FlushOnce(p, 0)
+		}
+	}
+}

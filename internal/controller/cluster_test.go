@@ -1,0 +1,441 @@
+package controller
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/sim"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DiskSpec = disk.Spec{
+		BlockSize:   512,
+		Blocks:      4096,
+		Seek:        2 * sim.Millisecond,
+		Rotation:    sim.Millisecond,
+		TransferBps: 400_000_000,
+	}
+	cfg.Disks = 10
+	cfg.DisksPerGroup = 5
+	cfg.ExtentBlocks = 16
+	cfg.CacheBlocksPerBlade = 256
+	return cfg
+}
+
+func newTestCluster(t *testing.T, seed int64, mutate func(*Config)) (*Cluster, *sim.Kernel) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	cfg := smallConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, k
+}
+
+// run executes body and drives the simulation for a bounded stretch of
+// virtual time (the cluster's background flushers tick forever, so a plain
+// Run() would never return).
+func run(k *sim.Kernel, body func(p *sim.Proc)) {
+	done := false
+	k.Go("test", func(p *sim.Proc) {
+		body(p)
+		done = true
+	})
+	k.RunFor(60 * sim.Second)
+	if !done {
+		panic("test body did not complete within 60s of virtual time")
+	}
+}
+
+func pattern(n int, seed byte) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i)*31 + seed
+	}
+	return out
+}
+
+func TestClusterRoundTripThroughAnyBlade(t *testing.T) {
+	c, k := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	if _, err := c.Pool.CreateDMSD("vol", 64); err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(512*8, 5)
+	run(k, func(p *sim.Proc) {
+		if err := c.Write(p, c.Blade(0), "vol", 0, data, 0); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		// Every blade sees the same data — "all computers access all data".
+		for i := 0; i < c.Cfg.Blades; i++ {
+			got, err := c.Read(p, c.Blade(i), "vol", 0, 8, 0)
+			if err != nil {
+				t.Errorf("read via blade %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("blade %d data mismatch", i)
+			}
+		}
+	})
+}
+
+func TestPickBladeRoundRobin(t *testing.T) {
+	c, _ := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	seen := make(map[int]int)
+	for i := 0; i < 8; i++ {
+		seen[c.PickBlade().ID]++
+	}
+	for id := 0; id < 4; id++ {
+		if seen[id] != 2 {
+			t.Fatalf("blade %d picked %d times, want 2: %v", id, seen[id], seen)
+		}
+	}
+	c.Blades[1].Down = true
+	for i := 0; i < 8; i++ {
+		if c.PickBlade().ID == 1 {
+			t.Fatal("down blade picked")
+		}
+	}
+}
+
+func TestBladeFailureLosesNothingWithReplication(t *testing.T) {
+	c, k := newTestCluster(t, 1, func(cfg *Config) { cfg.ReplicationN = 2 })
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 64)
+	data := pattern(512*4, 9)
+	run(k, func(p *sim.Proc) {
+		// Write through blade 0 and kill it before any flush interval.
+		if err := c.Write(p, c.Blade(0), "vol", 8, data, 0); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := c.FailBlade(p, 0); err != nil {
+			t.Errorf("fail blade: %v", err)
+			return
+		}
+		got, err := c.Read(p, c.Blade(1), "vol", 8, 4, 0)
+		if err != nil {
+			t.Errorf("read after failure: %v", err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("acknowledged write lost after single blade failure with N=2")
+		}
+	})
+}
+
+func TestBladeFailureWithoutReplicationLosesDirtyData(t *testing.T) {
+	// The contrast case: N=1 write-back caching loses unflushed data on a
+	// blade failure — exactly why the paper wants N-way replication.
+	c, k := newTestCluster(t, 1, func(cfg *Config) {
+		cfg.ReplicationN = 1
+		cfg.FlushInterval = 10 * sim.Second // effectively never
+	})
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 64)
+	data := pattern(512, 3)
+	run(k, func(p *sim.Proc) {
+		c.Write(p, c.Blade(0), "vol", 5, data, 0)
+		c.FailBlade(p, 0)
+		got, err := c.Read(p, c.Blade(1), "vol", 5, 1, 0)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if bytes.Equal(got, data) {
+			t.Error("dirty data survived without replication — test premise broken")
+		}
+	})
+}
+
+func TestClusterContinuesAfterFailure(t *testing.T) {
+	c, k := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 64)
+	run(k, func(p *sim.Proc) {
+		c.Write(p, c.Blade(2), "vol", 0, pattern(512*2, 1), 0)
+		c.FailBlade(p, 2)
+		c.FailBlade(p, 3)
+		// Two blades remain; I/O continues.
+		b := c.PickBlade()
+		if b == nil || b.Down {
+			t.Error("no live blade after two failures")
+			return
+		}
+		if err := c.Write(p, b, "vol", 10, pattern(512, 2), 0); err != nil {
+			t.Errorf("write after failures: %v", err)
+		}
+		if _, err := c.Read(p, b, "vol", 0, 2, 0); err != nil {
+			t.Errorf("read after failures: %v", err)
+		}
+	})
+}
+
+func TestReviveBladeRejoins(t *testing.T) {
+	c, k := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 64)
+	run(k, func(p *sim.Proc) {
+		c.FailBlade(p, 1)
+		c.ReviveBlade(p, 1)
+		if len(c.Alive()) != 4 {
+			t.Errorf("alive = %v, want 4 blades", c.Alive())
+		}
+		if err := c.Write(p, c.Blade(1), "vol", 0, pattern(512, 7), 0); err != nil {
+			t.Errorf("write via revived blade: %v", err)
+		}
+	})
+}
+
+func TestDistributedRebuildRestoresRedundancy(t *testing.T) {
+	c, k := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 128)
+	data := pattern(512*64, 17)
+	run(k, func(p *sim.Proc) {
+		if err := c.Write(p, c.Blade(0), "vol", 0, data, 0); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		c.FlushAll(p)
+		c.Groups[0].Disks()[1].Fail()
+		if err := c.DistributedRebuild(p, 0, 1); err != nil {
+			t.Errorf("rebuild: %v", err)
+			return
+		}
+		if c.Groups[0].Rebuilding(1) {
+			t.Error("rebuild did not close")
+		}
+		// Fail a different disk: the group must still be readable, which
+		// requires the first rebuild to have actually restored redundancy.
+		c.Groups[0].Disks()[3].Fail()
+		got, err := c.Read(p, c.Blade(1), "vol", 0, 64, 0)
+		if err != nil {
+			t.Errorf("read after second failure: %v", err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("data wrong after rebuild + second disk failure")
+		}
+	})
+}
+
+func TestDistributedRebuildSurvivesBladeDeath(t *testing.T) {
+	c, k := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 128)
+	run(k, func(p *sim.Proc) {
+		c.Write(p, c.Blade(0), "vol", 0, pattern(512*64, 2), 0)
+		c.FlushAll(p)
+		c.Groups[0].Disks()[0].Fail()
+		// Kill a blade shortly after the rebuild starts.
+		k.After(5*sim.Millisecond, func() {
+			k.Go("killer", func(q *sim.Proc) { c.FailBlade(q, 3) })
+		})
+		if err := c.DistributedRebuild(p, 0, 0); err != nil {
+			t.Errorf("rebuild with blade death: %v", err)
+			return
+		}
+		if c.Groups[0].Rebuilding(0) {
+			t.Error("rebuild incomplete after blade death")
+		}
+	})
+}
+
+func TestLoadSpreadsAcrossBlades(t *testing.T) {
+	c, k := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 64)
+	run(k, func(p *sim.Proc) {
+		for i := 0; i < 32; i++ {
+			b := c.PickBlade()
+			c.Read(p, b, "vol", int64(i%16), 1, 0)
+		}
+	})
+	load := c.LoadPerBlade()
+	for i, l := range load {
+		if l != 8 {
+			t.Fatalf("blade %d load = %v, want 8 (round robin): %v", i, l, load)
+		}
+	}
+}
+
+// Property: arbitrary writes through arbitrary blades, then a failure of
+// any single blade (with N=2), never lose acknowledged data.
+func TestNoLossUnderSingleFailureProperty(t *testing.T) {
+	f := func(seed int64, ops []uint16, failRaw uint8) bool {
+		k := sim.NewKernel(seed)
+		cfg := smallConfig()
+		cfg.ReplicationN = 2
+		cfg.FlushInterval = 10 * sim.Second // force reliance on replication
+		c, err := New(k, cfg)
+		if err != nil {
+			return false
+		}
+		defer c.Stop()
+		c.Pool.CreateDMSD("vol", 64)
+		shadow := make(map[int64]byte)
+		ok := true
+		run(k, func(p *sim.Proc) {
+			for i, op := range ops {
+				if i >= 10 {
+					break
+				}
+				blade := c.Blade(int(op) % 4)
+				lba := int64(op>>4) % 32
+				val := byte(op>>8) | 1
+				if err := c.Write(p, blade, "vol", lba, bytes.Repeat([]byte{val}, 512), 0); err != nil {
+					ok = false
+					return
+				}
+				shadow[lba] = val
+			}
+			if err := c.FailBlade(p, int(failRaw)%4); err != nil {
+				ok = false
+				return
+			}
+			b := c.PickBlade()
+			for lba, val := range shadow {
+				got, err := c.Read(p, b, "vol", lba, 1, 0)
+				if err != nil || got[0] != val {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAID6ClusterConfig(t *testing.T) {
+	c, k := newTestCluster(t, 1, func(cfg *Config) {
+		cfg.RAIDLevel = raid.RAID6
+	})
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 32)
+	data := pattern(512*8, 4)
+	run(k, func(p *sim.Proc) {
+		c.Write(p, c.Blade(0), "vol", 0, data, 0)
+		c.FlushAll(p)
+		// RAID6 tolerates two disk failures in one group.
+		c.Groups[0].Disks()[0].Fail()
+		c.Groups[0].Disks()[1].Fail()
+		got, err := c.Read(p, c.Blade(1), "vol", 0, 8, 0)
+		if err != nil {
+			t.Errorf("read with 2 disk failures: %v", err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("RAID6 double-failure read wrong")
+		}
+	})
+}
+
+func TestDistributedClone(t *testing.T) {
+	c, k := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	c.Pool.CreateDMSD("src", 64)
+	data := pattern(512*64, 23)
+	run(k, func(p *sim.Proc) {
+		if err := c.Write(p, c.Blade(0), "src", 0, data, 0); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		n, err := c.DistributedClone(p, "default", "src", "copy")
+		if err != nil {
+			t.Errorf("clone: %v", err)
+			return
+		}
+		if n == 0 {
+			t.Error("nothing cloned")
+		}
+		got, err := c.Read(p, c.Blade(1), "copy", 0, 64, 0)
+		if err != nil {
+			t.Errorf("read clone: %v", err)
+			return
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("clone content mismatch")
+		}
+		// The clone is independent: writing the source must not change it.
+		if err := c.Write(p, c.Blade(0), "src", 0, pattern(512, 99), 0); err != nil {
+			t.Errorf("post-clone write: %v", err)
+			return
+		}
+		got2, _ := c.Read(p, c.Blade(2), "copy", 0, 1, 0)
+		if !bytes.Equal(got2, data[:512]) {
+			t.Error("clone not independent of source")
+		}
+	})
+}
+
+func TestDistributedCloneFasterWithMoreBlades(t *testing.T) {
+	elapsed := func(blades int) sim.Duration {
+		k := sim.NewKernel(1)
+		cfg := smallConfig()
+		cfg.Blades = blades
+		c, err := New(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+		c.Pool.CreateDMSD("src", 128)
+		var dur sim.Duration
+		run(k, func(p *sim.Proc) {
+			c.Write(p, c.Blade(0), "src", 0, pattern(512*512, 1), 0)
+			c.FlushAll(p)
+			t0 := p.Now()
+			if _, err := c.DistributedClone(p, "default", "src", "copy"); err != nil {
+				t.Errorf("clone: %v", err)
+				return
+			}
+			dur = p.Now().Sub(t0)
+		})
+		return dur
+	}
+	one := elapsed(1)
+	four := elapsed(4)
+	if four >= one {
+		t.Fatalf("4-blade clone (%v) not faster than 1-blade (%v)", four, one)
+	}
+}
+
+func TestDistributedScrub(t *testing.T) {
+	c, k := newTestCluster(t, 1, nil)
+	defer c.Stop()
+	c.Pool.CreateDMSD("vol", 64)
+	run(k, func(p *sim.Proc) {
+		c.Write(p, c.Blade(0), "vol", 0, pattern(512*64, 7), 0)
+		c.FlushAll(p)
+		// Corrupt one block on each group behind the system's back.
+		for _, g := range c.Groups {
+			g.Disks()[0].CorruptBlock(1, pattern(512, 0xBB))
+		}
+		bad, err := c.DistributedScrub(p)
+		if err != nil {
+			t.Errorf("scrub: %v", err)
+			return
+		}
+		if bad == 0 {
+			t.Error("scrub missed injected corruption")
+		}
+		again, err := c.DistributedScrub(p)
+		if err != nil || again != 0 {
+			t.Errorf("second scrub: bad=%d err=%v", again, err)
+		}
+	})
+}

@@ -1,0 +1,304 @@
+// Package core assembles the complete system the paper envisions: a blade
+// cluster with coherent pooled caches (internal/controller), demand-mapped
+// virtualization over RAID groups (internal/virt, internal/raid), the
+// parallel file system with per-file policies (internal/pfs), the security
+// ring (internal/security), and optional multi-site federation
+// (internal/georepl) — behind one constructor.
+//
+// This is the public face of the repository: every example and benchmark
+// builds a System (or a Federation of Systems) and drives it.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/disk"
+	"repro/internal/georepl"
+	"repro/internal/pfs"
+	"repro/internal/raid"
+	"repro/internal/security"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Class describes one storage class beyond the default (§4: per-file RAID
+// type selection maps files onto classes).
+type Class struct {
+	Name          string
+	Level         raid.Level
+	Disks         int
+	DisksPerGroup int
+}
+
+// Options sizes a System. Zero values select the defaults noted per field.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Blades is the controller blade count (default 4).
+	Blades int
+	// CacheBlocksPerBlade sizes each blade cache (default 4096).
+	CacheBlocksPerBlade int
+	// ReplicationN is the default write-cache copies (default 2).
+	ReplicationN int
+	// Disks/DisksPerGroup/RAIDLevel shape the default class
+	// (defaults 20/5/RAID5).
+	Disks         int
+	DisksPerGroup int
+	RAIDLevel     raid.Level
+	// DiskSpec overrides the drive model (default disk.DefaultSpec()).
+	DiskSpec disk.Spec
+	// ExtraClasses adds storage classes with their own drives and level.
+	ExtraClasses []Class
+	// EncryptAtRest enables §5.1 storage-level encryption at the gateway.
+	EncryptAtRest bool
+	// EncThroughputBps models each encryption engine (0 = free).
+	EncThroughputBps int64
+	// FSVirtExtents sizes each class's backing DMSD (default 1<<20
+	// extents — far larger than physical, per §3).
+	FSVirtExtents int64
+}
+
+func (o *Options) fillDefaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Blades == 0 {
+		o.Blades = 4
+	}
+	if o.CacheBlocksPerBlade == 0 {
+		o.CacheBlocksPerBlade = 4096
+	}
+	if o.ReplicationN == 0 {
+		o.ReplicationN = 2
+	}
+	if o.Disks == 0 {
+		o.Disks = 20
+	}
+	if o.DisksPerGroup == 0 {
+		o.DisksPerGroup = 5
+	}
+	if o.RAIDLevel == 0 {
+		// The zero Level is RAID0; the system default is RAID5. Use an
+		// extra class for a RAID0 tier.
+		o.RAIDLevel = raid.RAID5
+	}
+	if o.FSVirtExtents == 0 {
+		o.FSVirtExtents = 1 << 20
+	}
+}
+
+// System is one data center: cluster + file system + security ring.
+type System struct {
+	K       *sim.Kernel
+	Cluster *controller.Cluster
+	FS      *pfs.FS
+	Auth    *security.Authority
+	Mask    *security.LUNMask
+	Gateway *security.Gateway
+}
+
+// NewSystem builds a system on its own kernel.
+func NewSystem(opts Options) (*System, error) {
+	opts.fillDefaults()
+	k := sim.NewKernel(opts.Seed)
+	return NewSystemOn(k, opts)
+}
+
+// NewSystemOn builds a system on an existing kernel (multi-site setups
+// share one kernel).
+func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
+	opts.fillDefaults()
+	cfg := controller.DefaultConfig()
+	cfg.Blades = opts.Blades
+	cfg.CacheBlocksPerBlade = opts.CacheBlocksPerBlade
+	cfg.ReplicationN = opts.ReplicationN
+	cfg.Disks = opts.Disks
+	cfg.DisksPerGroup = opts.DisksPerGroup
+	cfg.RAIDLevel = opts.RAIDLevel
+	cfg.DiskSpec = opts.DiskSpec
+	cluster, err := controller.New(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	classes := map[string]string{"default": "fs.default"}
+	if _, err := cluster.CreateDMSD("default", "fs.default", opts.FSVirtExtents); err != nil {
+		return nil, err
+	}
+	for _, cl := range opts.ExtraClasses {
+		if err := cluster.AddClass(controller.StorageClass{
+			Name: cl.Name, Level: cl.Level, Disks: cl.Disks, DisksPerGroup: cl.DisksPerGroup,
+		}); err != nil {
+			return nil, err
+		}
+		vol := "fs." + cl.Name
+		if _, err := cluster.CreateDMSD(cl.Name, vol, opts.FSVirtExtents); err != nil {
+			return nil, err
+		}
+		classes[cl.Name] = vol
+	}
+	fs, err := pfs.New(k, pfs.Config{
+		IO:           cluster,
+		Classes:      classes,
+		DefaultClass: "default",
+	})
+	if err != nil {
+		return nil, err
+	}
+	auth := security.NewAuthority(k)
+	mask := security.NewLUNMask()
+	gw := security.NewGateway(security.GatewayConfig{
+		Authority:        auth,
+		Mask:             mask,
+		Store:            cluster,
+		EncryptAtRest:    opts.EncryptAtRest,
+		EncThroughputBps: opts.EncThroughputBps,
+	})
+	return &System{K: k, Cluster: cluster, FS: fs, Auth: auth, Mask: mask, Gateway: gw}, nil
+}
+
+// Stop halts the system's background processes so the simulation drains.
+func (s *System) Stop() { s.Cluster.Stop() }
+
+// Run executes the body as a simulation process and advances virtual time
+// until it completes (bounded by horizon; 0 = 1 hour of virtual time).
+func (s *System) Run(horizon sim.Duration, body func(p *sim.Proc) error) error {
+	if horizon <= 0 {
+		horizon = 3600 * sim.Second
+	}
+	var err error
+	done := false
+	s.K.Go("main", func(p *sim.Proc) {
+		err = body(p)
+		done = true
+	})
+	deadline := s.K.Now().Add(horizon)
+	for !done && s.K.Now() < deadline {
+		s.K.RunFor(100 * sim.Millisecond)
+	}
+	if !done {
+		return fmt.Errorf("core: body did not complete within %v of virtual time", horizon)
+	}
+	return err
+}
+
+// VolumeTarget adapts one cluster volume to the workload Target shape.
+type VolumeTarget struct {
+	Cluster *controller.Cluster
+	Vol     string
+	// data reused for writes (content is irrelevant to the workload).
+	scratch []byte
+}
+
+// BlockSize implements workload.Target.
+func (t *VolumeTarget) BlockSize() int { return t.Cluster.BlockSize() }
+
+// Read implements workload.Target.
+func (t *VolumeTarget) Read(p *sim.Proc, lba int64, blocks int) error {
+	_, err := t.Cluster.ReadBlocks(p, t.Vol, lba, blocks, 0)
+	return err
+}
+
+// Write implements workload.Target.
+func (t *VolumeTarget) Write(p *sim.Proc, lba int64, blocks int) error {
+	need := blocks * t.Cluster.BlockSize()
+	if len(t.scratch) < need {
+		t.scratch = make([]byte, need)
+		for i := range t.scratch {
+			t.scratch[i] = byte(i)
+		}
+	}
+	return t.Cluster.WriteBlocks(p, t.Vol, lba, t.scratch[:need], 0, 0)
+}
+
+// GeoOptions describes a multi-site federation of Systems.
+type GeoOptions struct {
+	// Sites lists the site names.
+	Sites []string
+	// SiteOptions builds each site's System options.
+	SiteOptions func(name string) Options
+	// WANOneWay is the inter-site propagation delay.
+	WANOneWay sim.Duration
+	// WANBps is the inter-site bandwidth.
+	WANBps int64
+	// Geo tunes prefetch/promotion/shipping.
+	Geo georepl.Config
+}
+
+// GeoSystem is a federation of full Systems on one kernel.
+type GeoSystem struct {
+	K       *sim.Kernel
+	Fed     *georepl.Federation
+	Systems map[string]*System
+}
+
+// NewGeoSystem builds len(opts.Sites) Systems on one kernel, connects them
+// in a full WAN mesh, and federates their file systems.
+func NewGeoSystem(seed int64, g GeoOptions) (*GeoSystem, error) {
+	if len(g.Sites) < 2 {
+		return nil, fmt.Errorf("core: federation needs ≥2 sites")
+	}
+	if g.WANBps == 0 {
+		g.WANBps = 1_000_000_000
+	}
+	k := sim.NewKernel(seed)
+	fed := georepl.NewFederation(k, g.Geo)
+	gs := &GeoSystem{K: k, Fed: fed, Systems: make(map[string]*System)}
+	for _, name := range g.Sites {
+		opts := Options{}
+		if g.SiteOptions != nil {
+			opts = g.SiteOptions(name)
+		}
+		sys, err := NewSystemOn(k, opts)
+		if err != nil {
+			return nil, err
+		}
+		gs.Systems[name] = sys
+		fed.AddSite(name, sys.FS)
+	}
+	for i, a := range g.Sites {
+		for _, b := range g.Sites[i+1:] {
+			fed.Connect(a, b, simnet.WAN(g.WANOneWay, g.WANBps))
+		}
+	}
+	return gs, nil
+}
+
+// Site returns the georepl site handle for name.
+func (g *GeoSystem) Site(name string) *georepl.Site {
+	s, _ := g.Fed.Site(name)
+	return s
+}
+
+// Stop halts all background processes (flushers, shippers).
+func (g *GeoSystem) Stop() {
+	for _, sys := range g.Systems {
+		sys.Stop()
+	}
+	for _, name := range g.Fed.Sites() {
+		if s, err := g.Fed.Site(name); err == nil {
+			s.StopShipper()
+		}
+	}
+}
+
+// Run is System.Run for a federation.
+func (g *GeoSystem) Run(horizon sim.Duration, body func(p *sim.Proc) error) error {
+	if horizon <= 0 {
+		horizon = 3600 * sim.Second
+	}
+	var err error
+	done := false
+	g.K.Go("main", func(p *sim.Proc) {
+		err = body(p)
+		done = true
+	})
+	deadline := g.K.Now().Add(horizon)
+	for !done && g.K.Now() < deadline {
+		g.K.RunFor(100 * sim.Millisecond)
+	}
+	if !done {
+		return fmt.Errorf("core: body did not complete within %v of virtual time", horizon)
+	}
+	return err
+}

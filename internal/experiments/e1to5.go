@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stripe"
+	"repro/internal/virt"
+	"repro/internal/workload"
+)
+
+// E1 — Figure 1 / §2.3: single-stream bandwidth vs number of striped
+// blades. One blade ingests 2×2 Gb/s of Fibre Channel; four blades
+// saturate the 10 Gb/s port.
+func E1(seed int64) *metrics.Table {
+	k := sim.NewKernel(seed)
+	counts := []int{1, 2, 4, 8}
+	results, err := stripe.Sweep(k, stripe.Config{}, counts, 256<<20)
+	if err != nil {
+		panic(err)
+	}
+	tab := stripe.Table(counts, results, 2_000_000_000, 10_000_000_000)
+	tab.AddNote("paper §2.3: four blades × 2×2 Gb/s FC take turns driving one 10 Gb/s port")
+	return tab
+}
+
+// E2 — §2.1: aggregate throughput scales with blades without partitioning
+// data; the traditional dual-controller array is flat.
+func E2(seed int64) *metrics.Table {
+	tab := metrics.NewTable("E2 — §2.1: aggregate throughput vs controllers",
+		"system", "controllers", "MB/s", "ops/s", "mean ms", "p99 ms")
+	const (
+		clients = 48
+		dur     = 2 * sim.Second
+		// The working set fits each blade's cache: the controllers, not
+		// the 24 spindles, are the bottleneck — §2.1's regime ("the only
+		// way to overcome Moore's Law is through parallelism").
+		wsBlocks = 3 << 10
+		opBlocks = 16 // 64 KiB operations
+	)
+	// Shared read streams (§2.1: "many I/O streams to access the same
+	// data without performance degradation"); write-path costs are
+	// measured separately in E6/A3.
+	pat := func(int) workload.Pattern {
+		return workload.Uniform{Range: wsBlocks, Blocks: opBlocks, WriteFrac: 0}
+	}
+
+	for _, blades := range []int{1, 2, 4, 8, 16} {
+		k := sim.NewKernel(seed)
+		cfg := clusterConfig(blades)
+		c, err := controllerNew(k, cfg)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := c.Pool.CreateDMSD("bench", 1<<20); err != nil {
+			panic(err)
+		}
+		target := &clusterTarget{c: c, vol: "bench"}
+		if err := prefillVolume(k, c, "bench", wsBlocks); err != nil {
+			panic(err)
+		}
+		runWorkload(k, clients, 2*sim.Second, target, pat) // warm caches
+		r := runWorkload(k, clients, dur, target, pat)
+		c.Stop()
+		tab.AddRow("yotta", blades, fmtF(r.Bytes.MBps()), int64(float64(r.Ops)/dur.Seconds()),
+			fmtDur(r.Latency.Mean()), fmtDur(r.Latency.P99()))
+	}
+
+	// Baseline: the same disks behind a fixed dual-controller array.
+	k := sim.NewKernel(seed)
+	bcfg := baseline.DefaultConfig()
+	bcfg.DiskSpec = labDisk()
+	bcfg.Disks = 24
+	bcfg.DisksPerGroup = 6
+	bcfg.ExtentBlocks = 64
+	bcfg.CacheBlocksPerController = 4096
+	bcfg.OpDelay = 50 * sim.Microsecond
+	arr, err := baseline.New(k, bcfg)
+	if err != nil {
+		panic(err)
+	}
+	// Two volumes, one per controller — the best static split.
+	arr.CreateVolume("v0", wsBlocks/2)
+	arr.CreateVolume("v1", wsBlocks/2)
+	tgt := &arrayTarget{a: arr, vols: []string{"v0", "v1"}, span: wsBlocks / 2}
+	if err := prefill(k, func(p *sim.Proc) error { return seqFill(p, tgt, wsBlocks/2) }); err != nil {
+		panic(err)
+	}
+	bpat := func(int) workload.Pattern {
+		return workload.Uniform{Range: wsBlocks / 2, Blocks: opBlocks, WriteFrac: 0}
+	}
+	runWorkload(k, clients, 2*sim.Second, tgt, bpat) // warm caches
+	r := runWorkload(k, clients, dur, tgt, bpat)
+	arr.Stop()
+	tab.AddRow("baseline", 2, fmtF(r.Bytes.MBps()), int64(float64(r.Ops)/dur.Seconds()),
+		fmtDur(r.Latency.Mean()), fmtDur(r.Latency.P99()))
+	tab.AddNote("yotta scales by adding blades to one shared pool; the array is capped at its controller pair")
+	return tab
+}
+
+// seqFill writes the first n blocks of a target sequentially (prefill).
+func seqFill(p *sim.Proc, t workload.Target, n int64) error {
+	const step = 64
+	for lba := int64(0); lba < n; lba += step {
+		c := int64(step)
+		if lba+c > n {
+			c = n - lba
+		}
+		if err := t.Write(p, lba, int(c)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// arrayTarget spreads accesses over the baseline array's volumes.
+type arrayTarget struct {
+	a    *baseline.Array
+	vols []string
+	span int64
+	i    int
+	buf  []byte
+}
+
+func (t *arrayTarget) BlockSize() int { return t.a.Pool.BlockSize() }
+
+func (t *arrayTarget) pick() string {
+	v := t.vols[t.i%len(t.vols)]
+	t.i++
+	return v
+}
+
+func (t *arrayTarget) Read(p *sim.Proc, lba int64, blocks int) error {
+	_, err := t.a.Read(p, t.pick(), lba%t.span, blocks)
+	return err
+}
+
+func (t *arrayTarget) Write(p *sim.Proc, lba int64, blocks int) error {
+	need := blocks * t.BlockSize()
+	if len(t.buf) < need {
+		t.buf = make([]byte, need)
+	}
+	return t.a.Write(p, t.pick(), lba%t.span, t.buf[:need])
+}
+
+// singleVolArrayTarget pins every access to one volume — the hot-volume
+// case of E3.
+type singleVolArrayTarget struct {
+	a   *baseline.Array
+	vol string
+	buf []byte
+}
+
+func (t *singleVolArrayTarget) BlockSize() int { return t.a.Pool.BlockSize() }
+
+func (t *singleVolArrayTarget) Read(p *sim.Proc, lba int64, blocks int) error {
+	_, err := t.a.Read(p, t.vol, lba, blocks)
+	return err
+}
+
+func (t *singleVolArrayTarget) Write(p *sim.Proc, lba int64, blocks int) error {
+	need := blocks * t.BlockSize()
+	if len(t.buf) < need {
+		t.buf = make([]byte, need)
+	}
+	return t.a.Write(p, t.vol, lba, t.buf[:need])
+}
+
+// E3 — §2.2/§6.3: Zipf-skewed "hot data" reads (the web-farm pattern the
+// paper opens §2 with) drive one controller of the traditional array to
+// saturation, while the cluster spreads the same load across every blade
+// (load CV ≈ 0) and serves it from the pooled cache at processor speed.
+func E3(seed int64) *metrics.Table {
+	tab := metrics.NewTable("E3 — §2.2: hot-spot behaviour under Zipf reads",
+		"system", "ops/s", "p99 ms", "load CV", "cache hit %")
+	const (
+		clients = 32
+		dur     = 2 * sim.Second
+		ws      = 8 << 10 // 32 MiB hot set
+	)
+	pat := func(int) workload.Pattern {
+		return &workload.Zipf{Range: ws, S: 1.2, Blocks: 4, WriteFrac: 0}
+	}
+
+	// Cluster: 4 blades, one shared volume, any blade serves any block.
+	k := sim.NewKernel(seed)
+	c, err := controllerNew(k, clusterConfig(4))
+	if err != nil {
+		panic(err)
+	}
+	c.Pool.CreateDMSD("hot", 1<<20)
+	target := &clusterTarget{c: c, vol: "hot"}
+	if err := prefillVolume(k, c, "hot", ws); err != nil {
+		panic(err)
+	}
+	runWorkload(k, clients, 4*sim.Second, target, pat) // warm the pooled cache
+	r := runWorkload(k, clients, dur, target, pat)
+	c.Stop()
+	hits, misses := c.CacheStats()
+	cv := metrics.Summarize(c.LoadPerBlade()).CV()
+	tab.AddRow("yotta (4 blades)", int64(float64(r.Ops)/dur.Seconds()),
+		fmtDur(r.Latency.P99()), fmtF(cv), fmtF(100*float64(hits)/float64(hits+misses)))
+
+	// Baseline: the hot data lives in one volume owned by controller 0.
+	k2 := sim.NewKernel(seed)
+	bcfg := baseline.DefaultConfig()
+	bcfg.DiskSpec = labDisk()
+	bcfg.Disks = 24
+	bcfg.DisksPerGroup = 6
+	bcfg.ExtentBlocks = 64
+	bcfg.CacheBlocksPerController = 4096
+	bcfg.OpDelay = 50 * sim.Microsecond
+	arr, err := baseline.New(k2, bcfg)
+	if err != nil {
+		panic(err)
+	}
+	arr.CreateVolume("hot", ws)
+	arr.SetOwner("hot", 0)
+	tgt := &singleVolArrayTarget{a: arr, vol: "hot"}
+	if err := prefill(k2, func(p *sim.Proc) error { return seqFill(p, tgt, ws) }); err != nil {
+		panic(err)
+	}
+	r2 := runWorkload(k2, clients, dur, tgt, pat)
+	arr.Stop()
+	ops := arr.ControllerOps()
+	bcv := metrics.Summarize([]float64{float64(ops[0]), float64(ops[1])}).CV()
+	tab.AddRow("baseline (hot volume)", int64(float64(r2.Ops)/dur.Seconds()),
+		fmtDur(r2.Latency.P99()), fmtF(bcv), "n/a")
+	tab.AddNote("load CV: 0 = perfectly balanced; √2 ≈ 1.41 = all load on one of two controllers")
+	return tab
+}
+
+// E4 — §2.4: distributed rebuild. Time to reconstruct a failed drive vs
+// blade count, with foreground I/O degradation; plus rebuild completion
+// despite a blade dying mid-rebuild.
+func E4(seed int64) *metrics.Table {
+	tab := metrics.NewTable("E4 — §2.4: distributed rebuild",
+		"blades", "rebuild s", "foreground p99 ms (during)", "baseline p99 ms (no rebuild)")
+	const (
+		clients = 16
+		ws      = 8 << 10
+	)
+	pat := func(int) workload.Pattern {
+		return workload.Uniform{Range: ws, Blocks: 4, WriteFrac: 0.1}
+	}
+	for _, blades := range []int{1, 2, 4, 8} {
+		k := sim.NewKernel(seed)
+		c, err := controllerNew(k, clusterConfig(blades))
+		if err != nil {
+			panic(err)
+		}
+		c.Pool.CreateDMSD("data", 1<<20)
+		target := &clusterTarget{c: c, vol: "data"}
+		if err := prefillVolume(k, c, "data", ws); err != nil {
+			panic(err)
+		}
+		// Reference run without rebuild.
+		ref := runWorkload(k, clients, sim.Second, target, pat)
+
+		// Fail a disk and rebuild while foreground load continues.
+		c.Groups[0].Disks()[1].Fail()
+		var rebuildTime sim.Duration
+		during := &workload.Runner{
+			K: k, Clients: clients, Pattern: pat, Target: target,
+			Duration: 120 * sim.Second, // bounded by rebuild completion below
+		}
+		during.Start()
+		done := false
+		k.Go("rebuild", func(p *sim.Proc) {
+			t0 := p.Now()
+			if err := c.DistributedRebuild(p, 0, 1); err != nil {
+				panic(err)
+			}
+			rebuildTime = p.Now().Sub(t0)
+			done = true
+		})
+		for !done {
+			k.RunFor(100 * sim.Millisecond)
+		}
+		c.Stop()
+		tab.AddRow(blades, fmtF(rebuildTime.Seconds()),
+			fmtDur(during.Latency.P99()), fmtDur(ref.Latency.P99()))
+	}
+	tab.AddNote("rebuild compute spreads across blades; disks bound the floor")
+	return tab
+}
+
+// E5 — §3: demand-mapped storage devices. Thin provisioning lets dozens of
+// over-provisioned tenants share a pool that fixed partitioning exhausts
+// after a handful.
+func E5(seed int64) *metrics.Table {
+	tab := metrics.NewTable("E5 — §3: DMSD thin provisioning vs fixed partitions",
+		"model", "tenants fit", "provisioned", "physical used", "pool util %")
+	k := sim.NewKernel(seed)
+	devs := []virt.BlockDevice{}
+	for i := 0; i < 4; i++ {
+		devs = append(devs, newRAMDevice(4096, 64<<10)) // 4 × 256 MiB
+	}
+	pool, err := virt.NewPool(k, 64, devs...)
+	if err != nil {
+		panic(err)
+	}
+	const provisionExtents = 256 // each tenant asks for 64 MiB
+	// Thick: how many fully provisioned tenants fit?
+	thick := 0
+	for {
+		if _, err := pool.CreateVolume(fmt.Sprintf("thick%d", thick), provisionExtents*64); err != nil {
+			break
+		}
+		thick++
+	}
+	used := pool.AllocatedExtents()
+	tab.AddRow("fixed partitions", thick,
+		metrics.FormatBytes(int64(thick)*provisionExtents*pool.ExtentBytes()),
+		metrics.FormatBytes(used*pool.ExtentBytes()),
+		fmtF(100*float64(used)/float64(pool.TotalExtents())))
+	for i := 0; i < thick; i++ {
+		pool.Delete(fmt.Sprintf("thick%d", i))
+	}
+
+	// Thin: tenants provision the same amount but write what they use
+	// (skewed usage, ~8% mean).
+	rng := k.Rand()
+	thin := 0
+	var provisioned int64
+	fill := func(p *sim.Proc) error {
+		for {
+			name := fmt.Sprintf("thin%d", thin)
+			v, err := pool.CreateDMSD(name, provisionExtents)
+			if err != nil {
+				return err
+			}
+			provisioned += provisionExtents
+			use := 1 + rng.Int63n(2*provisionExtents/12) // mean ~8%
+			for e := int64(0); e < use; e++ {
+				if err := v.Write(p, e*64, make([]byte, 4096)); err != nil {
+					pool.Delete(name)
+					provisioned -= provisionExtents
+					return nil // pool full: stop
+				}
+			}
+			thin++
+			if thin >= 48 {
+				return nil
+			}
+		}
+	}
+	if err := prefill(k, fill); err != nil {
+		panic(err)
+	}
+	usedThin := pool.AllocatedExtents()
+	tab.AddRow("DMSD (thin)", thin,
+		metrics.FormatBytes(provisioned*pool.ExtentBytes()),
+		metrics.FormatBytes(usedThin*pool.ExtentBytes()),
+		fmtF(100*float64(usedThin)/float64(pool.TotalExtents())))
+	tab.AddNote("slack space is amortized across tenants; charge-back reflects actual usage (§3)")
+	return tab
+}

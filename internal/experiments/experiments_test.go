@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// row helpers for asserting on table contents.
+func cell(tab interface{ String() string }, _ int) string { return tab.String() }
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE1Shape(t *testing.T) {
+	tab := E1(1)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// achieved Gb/s column is index 2.
+	one := parseF(t, tab.Rows[0][2])
+	two := parseF(t, tab.Rows[1][2])
+	four := parseF(t, tab.Rows[2][2])
+	eight := parseF(t, tab.Rows[3][2])
+	if one < 3.5 || one > 4.2 {
+		t.Fatalf("1 blade = %v, want ~4", one)
+	}
+	if two < 7.0 || two > 8.4 {
+		t.Fatalf("2 blades = %v, want ~8", two)
+	}
+	if four < 9.0 || four > 10.1 {
+		t.Fatalf("4 blades = %v, want ~10", four)
+	}
+	if eight < four*0.95 {
+		t.Fatalf("8 blades (%v) below 4-blade port limit (%v)", eight, four)
+	}
+}
+
+func TestE2ScalesAndBeatsBaseline(t *testing.T) {
+	tab := E2(1)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	mbps := func(i int) float64 { return parseF(t, tab.Rows[i][2]) }
+	// Monotone growth through the blade sweep (within 5% noise).
+	for i := 1; i < 5; i++ {
+		if mbps(i) < mbps(i-1)*0.95 {
+			t.Fatalf("throughput shrank adding blades: row %d %v -> %v\n%s", i, mbps(i-1), mbps(i), tab)
+		}
+	}
+	// Meaningful scaling: 16 blades ≥ 3× 1 blade.
+	if mbps(4) < 3*mbps(0) {
+		t.Fatalf("16 blades (%v) < 3× 1 blade (%v)\n%s", mbps(4), mbps(0), tab)
+	}
+	// 8-blade cluster beats the dual-controller baseline.
+	if mbps(3) <= mbps(5) {
+		t.Fatalf("8-blade cluster (%v) did not beat baseline (%v)\n%s", mbps(3), mbps(5), tab)
+	}
+}
+
+func TestE3HotSpotContrast(t *testing.T) {
+	tab := E3(1)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	clusterCV := parseF(t, tab.Rows[0][3])
+	baselineCV := parseF(t, tab.Rows[1][3])
+	if clusterCV > 0.2 {
+		t.Fatalf("cluster load CV = %v, want ~0 (balanced)\n%s", clusterCV, tab)
+	}
+	if baselineCV < 1.0 {
+		t.Fatalf("baseline load CV = %v, want ~1.41 (one hot controller)\n%s", baselineCV, tab)
+	}
+	clusterOps := parseF(t, tab.Rows[0][1])
+	baseOps := parseF(t, tab.Rows[1][1])
+	if clusterOps <= baseOps {
+		t.Fatalf("cluster ops/s (%v) did not beat hot-volume baseline (%v)\n%s", clusterOps, baseOps, tab)
+	}
+}
+
+func TestE4RebuildScales(t *testing.T) {
+	tab := E4(1)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	t1 := parseF(t, tab.Rows[0][1])
+	t4 := parseF(t, tab.Rows[2][1])
+	if t4 >= t1 {
+		t.Fatalf("4-blade rebuild (%vs) not faster than 1-blade (%vs)\n%s", t4, t1, tab)
+	}
+}
+
+func TestE5ThinBeatsThick(t *testing.T) {
+	tab := E5(1)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	thick := parseF(t, tab.Rows[0][1])
+	thin := parseF(t, tab.Rows[1][1])
+	if thin < 2*thick {
+		t.Fatalf("thin fits %v tenants vs thick %v; want ≥2×\n%s", thin, thick, tab)
+	}
+}
+
+func TestE6ReplicationSurvivability(t *testing.T) {
+	tab := E6(1)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		lostNm1 := parseF(t, row[2])
+		if lostNm1 != 0 {
+			t.Fatalf("N=%d lost %v blocks after N-1 failures\n%s", i+1, lostNm1, tab)
+		}
+	}
+	// With N=1, killing one blade must lose something (write-back with no
+	// replication), or the contrast claim is hollow.
+	if lostN := parseF(t, tab.Rows[0][3]); lostN == 0 {
+		t.Fatalf("N=1 lost nothing after 1 failure; premise broken\n%s", tab)
+	}
+}
+
+func TestE7FirstTouchThenLocal(t *testing.T) {
+	tab := E7(1)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	first := parseF(t, tab.Rows[0][2])
+	if first < 80 { // ≥ 2×40 ms one-way
+		t.Fatalf("first remote read %v ms, want ≥ RTT 80ms\n%s", first, tab)
+	}
+	for i := 1; i < 8; i++ {
+		if l := parseF(t, tab.Rows[i][2]); l > first/4 {
+			t.Fatalf("read %d latency %v ms not local-like\n%s", i+1, l, tab)
+		}
+	}
+}
+
+func TestE8SyncTracksDistanceAsyncDoesNot(t *testing.T) {
+	tab := E8(1)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Rows alternate sync/async per distance.
+	sync1 := parseF(t, tab.Rows[0][2])    // 1 ms sync
+	sync100 := parseF(t, tab.Rows[6][2])  // 100 ms sync
+	async100 := parseF(t, tab.Rows[7][2]) // 100 ms async
+	if sync100 < 10*sync1 {
+		t.Fatalf("sync latency did not track distance: %v vs %v\n%s", sync1, sync100, tab)
+	}
+	if async100 > sync100/4 {
+		t.Fatalf("async latency %v not ≪ sync %v at 100ms\n%s", async100, sync100, tab)
+	}
+	// Sync never loses writes; async loses some at the largest distance.
+	for i := 0; i < 8; i += 2 {
+		if lost := parseF(t, tab.Rows[i][3]); lost != 0 {
+			t.Fatalf("sync lost %v writes\n%s", lost, tab)
+		}
+	}
+	if lost := parseF(t, tab.Rows[7][3]); lost == 0 {
+		t.Fatalf("async lost nothing on immediate disaster; premise broken\n%s", tab)
+	}
+}
+
+func TestE9EncryptionParallelism(t *testing.T) {
+	tab := E9(1)
+	enc1 := parseF(t, tab.Rows[0][2])
+	enc8 := parseF(t, tab.Rows[3][2])
+	if enc1 > 2.2 {
+		t.Fatalf("1-blade encrypted rate %v, want ≤ 2 Gb/s engine\n%s", enc1, tab)
+	}
+	if enc8 < 8.5 {
+		t.Fatalf("8-blade encrypted rate %v, want near port speed\n%s", enc8, tab)
+	}
+}
+
+func TestE10Availability(t *testing.T) {
+	tab := E10(1)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	before := parseF(t, tab.Rows[0][1])
+	after := parseF(t, tab.Rows[2][1])
+	if after < before*0.5 {
+		t.Fatalf("post-recovery throughput %v ≪ pre-failure %v\n%s", after, before, tab)
+	}
+	// Live blades: 8 before, 6 after.
+	if tab.Rows[0][4] != "8" || tab.Rows[2][4] != "6" {
+		t.Fatalf("live blade counts wrong\n%s", tab)
+	}
+}

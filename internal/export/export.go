@@ -1,0 +1,289 @@
+// Package export implements §8 of the paper: the storage system speaks to
+// the network directly. Controller blades run protocol engines themselves —
+// a block target (the SAN/iSCSI surface), a file gateway (the NAS surface
+// over the parallel file system), and an HTTP-style object service that
+// streams file content straight from storage onto the network. All of them
+// sit behind the security gateway: authentication precedes data access,
+// and no user code executes on the blades (§5.2) — the services expose
+// fixed verbs only.
+package export
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pfs"
+	"repro/internal/security"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const ctrlSize = 96
+
+// BlockRequest is the block target's wire request (iSCSI-like).
+type BlockRequest struct {
+	Token string
+	LUN   string
+	LBA   int64
+	Count int
+	Data  []byte // nil for reads
+	Write bool
+}
+
+// BlockResponse is the block target's reply.
+type BlockResponse struct {
+	Data []byte
+	Err  string
+}
+
+// ReportLUNsRequest asks which LUNs the token may see.
+type ReportLUNsRequest struct{ Token string }
+
+// ReportLUNsResponse lists visible LUNs (masked LUNs are absent).
+type ReportLUNsResponse struct {
+	LUNs []string
+	Err  string
+}
+
+// BlockTarget serves the block protocol on a host-facing address.
+type BlockTarget struct {
+	gw   *security.Gateway
+	conn *simnet.Conn
+	// Served counts requests (per-port load accounting).
+	Served int64
+}
+
+// NewBlockTarget attaches a block target at addr on the host network.
+func NewBlockTarget(net *simnet.Network, addr simnet.Addr, gw *security.Gateway) *BlockTarget {
+	t := &BlockTarget{gw: gw, conn: simnet.NewConn(net, addr)}
+	t.conn.Register("scsi.io", t.handleIO)
+	t.conn.Register("scsi.report_luns", t.handleReport)
+	return t
+}
+
+func (t *BlockTarget) handleIO(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(BlockRequest)
+	t.Served++
+	if req.Write {
+		if err := t.gw.Write(p, req.Token, req.LUN, req.LBA, req.Data, 0, 0); err != nil {
+			return BlockResponse{Err: err.Error()}, ctrlSize
+		}
+		return BlockResponse{}, ctrlSize
+	}
+	data, err := t.gw.Read(p, req.Token, req.LUN, req.LBA, req.Count, 0)
+	if err != nil {
+		return BlockResponse{Err: err.Error()}, ctrlSize
+	}
+	return BlockResponse{Data: data}, ctrlSize + len(data)
+}
+
+func (t *BlockTarget) handleReport(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(ReportLUNsRequest)
+	t.Served++
+	luns, err := t.gw.Visible(req.Token)
+	if err != nil {
+		return ReportLUNsResponse{Err: err.Error()}, ctrlSize
+	}
+	return ReportLUNsResponse{LUNs: luns}, ctrlSize
+}
+
+// FileRequest is the NAS gateway's wire request.
+type FileRequest struct {
+	Op     string // "read", "write", "create", "mkdir", "list", "stat", "remove"
+	Path   string
+	Off    int64
+	N      int
+	Data   []byte
+	Policy pfs.Policy
+}
+
+// FileResponse is the NAS gateway's reply.
+type FileResponse struct {
+	Data  []byte
+	Names []string
+	Size  int64
+	Err   string
+}
+
+// FileGateway serves the NAS protocol over a parallel file system.
+type FileGateway struct {
+	fs     *pfs.FS
+	conn   *simnet.Conn
+	Served int64
+}
+
+// NewFileGateway attaches a file gateway at addr on the host network.
+func NewFileGateway(net *simnet.Network, addr simnet.Addr, fs *pfs.FS) *FileGateway {
+	g := &FileGateway{fs: fs, conn: simnet.NewConn(net, addr)}
+	g.conn.Register("nas.op", g.handle)
+	return g
+}
+
+func (g *FileGateway) handle(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(FileRequest)
+	g.Served++
+	fail := func(err error) (any, int) { return FileResponse{Err: err.Error()}, ctrlSize }
+	switch req.Op {
+	case "read":
+		buf := make([]byte, req.N)
+		n, err := g.fs.ReadAt(p, req.Path, req.Off, buf)
+		if err != nil {
+			return fail(err)
+		}
+		return FileResponse{Data: buf[:n]}, ctrlSize + n
+	case "write":
+		if _, err := g.fs.Stat(req.Path); err != nil {
+			if _, cerr := g.fs.Create(req.Path, req.Policy); cerr != nil {
+				return fail(cerr)
+			}
+		}
+		if _, err := g.fs.WriteAt(p, req.Path, req.Off, req.Data); err != nil {
+			return fail(err)
+		}
+		return FileResponse{}, ctrlSize
+	case "create":
+		if _, err := g.fs.Create(req.Path, req.Policy); err != nil {
+			return fail(err)
+		}
+		return FileResponse{}, ctrlSize
+	case "mkdir":
+		if err := g.fs.MkdirAll(req.Path); err != nil {
+			return fail(err)
+		}
+		return FileResponse{}, ctrlSize
+	case "list":
+		names, err := g.fs.List(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return FileResponse{Names: names}, ctrlSize
+	case "stat":
+		ino, err := g.fs.Stat(req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		return FileResponse{Size: ino.Size}, ctrlSize
+	case "remove":
+		if err := g.fs.Remove(req.Path); err != nil {
+			return fail(err)
+		}
+		return FileResponse{}, ctrlSize
+	default:
+		return FileResponse{Err: fmt.Sprintf("export: unknown op %q", req.Op)}, ctrlSize
+	}
+}
+
+// HTTPRequest is a GET with an optional byte range — the paper's example
+// of a level-7 protocol exported directly from storage (§8: the HTTP
+// engine runs on the blade; only authentication and CGI live elsewhere).
+type HTTPRequest struct {
+	Token string
+	Path  string
+	// RangeFrom/RangeTo select bytes [RangeFrom, RangeTo); both zero
+	// means the whole object.
+	RangeFrom, RangeTo int64
+}
+
+// HTTPResponse carries the status and body.
+type HTTPResponse struct {
+	Status int
+	Body   []byte
+}
+
+// HTTPGateway streams file objects over the host network.
+type HTTPGateway struct {
+	fs     *pfs.FS
+	auth   *security.Authority
+	conn   *simnet.Conn
+	Served int64
+}
+
+// NewHTTPGateway attaches an HTTP-style object service at addr.
+func NewHTTPGateway(net *simnet.Network, addr simnet.Addr, fs *pfs.FS, auth *security.Authority) *HTTPGateway {
+	g := &HTTPGateway{fs: fs, auth: auth, conn: simnet.NewConn(net, addr)}
+	g.conn.Register("http.get", g.handleGet)
+	return g
+}
+
+func (g *HTTPGateway) handleGet(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(HTTPRequest)
+	g.Served++
+	if _, err := g.auth.Authenticate(req.Token); err != nil {
+		return HTTPResponse{Status: 401}, ctrlSize
+	}
+	if !strings.HasPrefix(req.Path, "/") {
+		return HTTPResponse{Status: 400}, ctrlSize
+	}
+	ino, err := g.fs.Stat(req.Path)
+	if err != nil {
+		return HTTPResponse{Status: 404}, ctrlSize
+	}
+	from0, to := req.RangeFrom, req.RangeTo
+	status := 200
+	if from0 == 0 && to == 0 {
+		to = ino.Size
+	} else {
+		status = 206
+		if to > ino.Size {
+			to = ino.Size
+		}
+	}
+	if from0 < 0 || from0 > to {
+		return HTTPResponse{Status: 416}, ctrlSize
+	}
+	buf := make([]byte, to-from0)
+	n, err := g.fs.ReadAt(p, req.Path, from0, buf)
+	if err != nil {
+		return HTTPResponse{Status: 500}, ctrlSize
+	}
+	return HTTPResponse{Status: status, Body: buf[:n]}, ctrlSize + n
+}
+
+// Client is a host-side helper for driving the exports in examples and
+// tests.
+type Client struct {
+	Conn *simnet.Conn
+}
+
+// NewClient attaches a client at addr.
+func NewClient(net *simnet.Network, addr simnet.Addr) *Client {
+	return &Client{Conn: simnet.NewConn(net, addr)}
+}
+
+// BlockIO issues one block request to a target.
+func (c *Client) BlockIO(p *sim.Proc, target simnet.Addr, req BlockRequest) (BlockResponse, error) {
+	size := ctrlSize + len(req.Data)
+	raw, err := c.Conn.CallTimeout(p, target, "scsi.io", req, size, 60*sim.Second)
+	if err != nil {
+		return BlockResponse{}, err
+	}
+	return raw.(BlockResponse), nil
+}
+
+// ReportLUNs lists LUNs visible to the token.
+func (c *Client) ReportLUNs(p *sim.Proc, target simnet.Addr, token string) (ReportLUNsResponse, error) {
+	raw, err := c.Conn.CallTimeout(p, target, "scsi.report_luns", ReportLUNsRequest{Token: token}, ctrlSize, 60*sim.Second)
+	if err != nil {
+		return ReportLUNsResponse{}, err
+	}
+	return raw.(ReportLUNsResponse), nil
+}
+
+// File issues one NAS operation.
+func (c *Client) File(p *sim.Proc, target simnet.Addr, req FileRequest) (FileResponse, error) {
+	size := ctrlSize + len(req.Data)
+	raw, err := c.Conn.CallTimeout(p, target, "nas.op", req, size, 60*sim.Second)
+	if err != nil {
+		return FileResponse{}, err
+	}
+	return raw.(FileResponse), nil
+}
+
+// Get issues one HTTP-style GET.
+func (c *Client) Get(p *sim.Proc, target simnet.Addr, req HTTPRequest) (HTTPResponse, error) {
+	raw, err := c.Conn.CallTimeout(p, target, "http.get", req, ctrlSize, 60*sim.Second)
+	if err != nil {
+		return HTTPResponse{}, err
+	}
+	return raw.(HTTPResponse), nil
+}

@@ -1,0 +1,213 @@
+package export
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/security"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// memStore backs the gateway without a full cluster.
+type memStore struct {
+	bs   int
+	vols map[string]map[int64][]byte
+}
+
+func newMemStore(vols ...string) *memStore {
+	m := &memStore{bs: 512, vols: make(map[string]map[int64][]byte)}
+	for _, v := range vols {
+		m.vols[v] = make(map[int64][]byte)
+	}
+	return m
+}
+
+func (m *memStore) BlockSize() int { return m.bs }
+
+func (m *memStore) ReadBlocks(p *sim.Proc, vol string, lba int64, count, prio int) ([]byte, error) {
+	buf := make([]byte, count*m.bs)
+	for i := 0; i < count; i++ {
+		if b, ok := m.vols[vol][lba+int64(i)]; ok {
+			copy(buf[i*m.bs:], b)
+		}
+	}
+	return buf, nil
+}
+
+func (m *memStore) WriteBlocks(p *sim.Proc, vol string, lba int64, data []byte, prio, repl int) error {
+	for i := 0; i < len(data)/m.bs; i++ {
+		b := make([]byte, m.bs)
+		copy(b, data[i*m.bs:])
+		m.vols[vol][lba+int64(i)] = b
+	}
+	return nil
+}
+
+type rig struct {
+	k      *sim.Kernel
+	net    *simnet.Network
+	auth   *security.Authority
+	client *Client
+	fs     *pfs.FS
+	token  string
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	net := simnet.New(k)
+	for _, n := range []simnet.Addr{"host", "target", "nas", "http"} {
+		net.Connect(n, "lan", simnet.GbE10)
+	}
+	auth := security.NewAuthority(k)
+	mask := security.NewLUNMask()
+	store := newMemStore("vol0", "fsvol")
+	gw := security.NewGateway(security.GatewayConfig{Authority: auth, Mask: mask, Store: store})
+	gw.ExportLUN("lun0", "vol0")
+	auth.CreateTenant("lab")
+	token, _ := auth.Issue("lab", 3600*sim.Second)
+	mask.Allow("lun0", "lab", security.ReadWrite)
+
+	fs, err := pfs.New(k, pfs.Config{IO: store, Classes: map[string]string{"d": "fsvol"}, DefaultClass: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewBlockTarget(net, "target", gw)
+	NewFileGateway(net, "nas", fs)
+	NewHTTPGateway(net, "http", fs, auth)
+	return &rig{k: k, net: net, auth: auth, client: NewClient(net, "host"), fs: fs, token: token}
+}
+
+func (r *rig) run(body func(p *sim.Proc)) {
+	r.k.Go("test", body)
+	r.k.Run()
+}
+
+func TestBlockProtocolRoundTrip(t *testing.T) {
+	r := newRig(t)
+	data := bytes.Repeat([]byte{7}, 1024)
+	r.run(func(p *sim.Proc) {
+		resp, err := r.client.BlockIO(p, "target", BlockRequest{
+			Token: r.token, LUN: "lun0", LBA: 4, Data: data, Write: true,
+		})
+		if err != nil || resp.Err != "" {
+			t.Errorf("write: %v %s", err, resp.Err)
+			return
+		}
+		resp, err = r.client.BlockIO(p, "target", BlockRequest{
+			Token: r.token, LUN: "lun0", LBA: 4, Count: 2,
+		})
+		if err != nil || resp.Err != "" {
+			t.Errorf("read: %v %s", err, resp.Err)
+			return
+		}
+		if !bytes.Equal(resp.Data, data) {
+			t.Error("block round trip mismatch")
+		}
+	})
+}
+
+func TestBlockProtocolAuthRequired(t *testing.T) {
+	r := newRig(t)
+	r.run(func(p *sim.Proc) {
+		resp, err := r.client.BlockIO(p, "target", BlockRequest{
+			Token: "bogus", LUN: "lun0", LBA: 0, Count: 1,
+		})
+		if err != nil {
+			t.Errorf("rpc: %v", err)
+			return
+		}
+		if resp.Err == "" {
+			t.Error("unauthenticated block read served")
+		}
+	})
+}
+
+func TestReportLUNsHonorsMask(t *testing.T) {
+	r := newRig(t)
+	r.run(func(p *sim.Proc) {
+		resp, err := r.client.ReportLUNs(p, "target", r.token)
+		if err != nil || resp.Err != "" {
+			t.Errorf("report: %v %s", err, resp.Err)
+			return
+		}
+		if len(resp.LUNs) != 1 || resp.LUNs[0] != "lun0" {
+			t.Errorf("luns = %v, want [lun0]", resp.LUNs)
+		}
+	})
+}
+
+func TestNASProtocol(t *testing.T) {
+	r := newRig(t)
+	content := []byte("nas file body")
+	r.run(func(p *sim.Proc) {
+		if resp, err := r.client.File(p, "nas", FileRequest{Op: "mkdir", Path: "/exp"}); err != nil || resp.Err != "" {
+			t.Errorf("mkdir: %v %s", err, resp.Err)
+			return
+		}
+		if resp, err := r.client.File(p, "nas", FileRequest{Op: "write", Path: "/exp/a.txt", Data: content}); err != nil || resp.Err != "" {
+			t.Errorf("write: %v %s", err, resp.Err)
+			return
+		}
+		resp, err := r.client.File(p, "nas", FileRequest{Op: "read", Path: "/exp/a.txt", N: 64})
+		if err != nil || resp.Err != "" {
+			t.Errorf("read: %v %s", err, resp.Err)
+			return
+		}
+		if !bytes.Equal(resp.Data, content) {
+			t.Error("nas read mismatch")
+		}
+		if resp, _ := r.client.File(p, "nas", FileRequest{Op: "stat", Path: "/exp/a.txt"}); resp.Size != int64(len(content)) {
+			t.Errorf("stat size = %d", resp.Size)
+		}
+		if resp, _ := r.client.File(p, "nas", FileRequest{Op: "list", Path: "/exp"}); len(resp.Names) != 1 {
+			t.Errorf("list = %v", resp.Names)
+		}
+		if resp, _ := r.client.File(p, "nas", FileRequest{Op: "remove", Path: "/exp/a.txt"}); resp.Err != "" {
+			t.Errorf("remove: %s", resp.Err)
+		}
+		if resp, _ := r.client.File(p, "nas", FileRequest{Op: "bogus"}); resp.Err == "" {
+			t.Error("unknown op accepted")
+		}
+	})
+}
+
+func TestHTTPGateway(t *testing.T) {
+	r := newRig(t)
+	body := bytes.Repeat([]byte("object-data "), 100)
+	r.run(func(p *sim.Proc) {
+		if err := r.fs.MkdirAll("/www"); err != nil {
+			t.Errorf("mkdir: %v", err)
+			return
+		}
+		if err := r.fs.WriteFile(p, "/www/obj", body, pfs.Policy{}); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		resp, err := r.client.Get(p, "http", HTTPRequest{Token: r.token, Path: "/www/obj"})
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		if resp.Status != 200 || !bytes.Equal(resp.Body, body) {
+			t.Errorf("status=%d len=%d", resp.Status, len(resp.Body))
+		}
+		// Range request.
+		resp, _ = r.client.Get(p, "http", HTTPRequest{Token: r.token, Path: "/www/obj", RangeFrom: 12, RangeTo: 24})
+		if resp.Status != 206 || !bytes.Equal(resp.Body, body[12:24]) {
+			t.Errorf("range: status=%d body=%q", resp.Status, resp.Body)
+		}
+		// Unauthenticated.
+		resp, _ = r.client.Get(p, "http", HTTPRequest{Token: "junk", Path: "/www/obj"})
+		if resp.Status != 401 {
+			t.Errorf("unauth status = %d, want 401", resp.Status)
+		}
+		// Missing object.
+		resp, _ = r.client.Get(p, "http", HTTPRequest{Token: r.token, Path: "/nope"})
+		if resp.Status != 404 {
+			t.Errorf("missing status = %d, want 404", resp.Status)
+		}
+	})
+}

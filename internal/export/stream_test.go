@@ -1,0 +1,150 @@
+package export
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+func newStreamRig(t *testing.T) (*rig, *StreamGateway, *StreamClient) {
+	t.Helper()
+	r := newRig(t)
+	gw := NewStreamGateway(r.net, "rtsp", r.fs, r.auth)
+	r.net.Connect("rtsp", "lan", simnetGbE())
+	cl := NewStreamClient(r.net, "viewer")
+	r.net.Connect("viewer", "lan", simnetGbE())
+	return r, gw, cl
+}
+
+func simnetGbE() (spec struct {
+	BandwidthBps int64
+	Latency      sim.Duration
+}) {
+	spec.BandwidthBps = 10_000_000_000
+	spec.Latency = 10 * sim.Microsecond
+	return
+}
+
+func TestStreamDeliversWholeFile(t *testing.T) {
+	r, gw, cl := newStreamRig(t)
+	media := bytes.Repeat([]byte("frame-data!"), 30000) // ~330 KiB
+	r.run(func(p *sim.Proc) {
+		r.fs.WriteFile(p, "/movie", media, pfs.Policy{})
+		resp, err := cl.Open(p, "rtsp", StreamOpen{Token: r.token, Path: "/movie", ChunkBytes: 32 << 10})
+		if err != nil || resp.Err != "" {
+			t.Errorf("open: %v %s", err, resp.Err)
+			return
+		}
+		if resp.Size != int64(len(media)) {
+			t.Errorf("size = %d", resp.Size)
+		}
+		for !cl.Done {
+			p.Sleep(10 * sim.Millisecond)
+		}
+	})
+	if !bytes.Equal(cl.Reassemble(), media) {
+		t.Fatal("reassembled stream != source file")
+	}
+	if gw.Sessions() != 0 {
+		t.Fatal("session not reaped after completion")
+	}
+}
+
+func TestStreamPacing(t *testing.T) {
+	r, _, cl := newStreamRig(t)
+	media := make([]byte, 125_000) // 1 Mb
+	var took sim.Duration
+	r.run(func(p *sim.Proc) {
+		r.fs.WriteFile(p, "/clip", media, pfs.Policy{})
+		t0 := p.Now()
+		resp, err := cl.Open(p, "rtsp", StreamOpen{
+			Token: r.token, Path: "/clip",
+			BitrateBps: 1_000_000, // 1 Mb/s → ~1 s for 1 Mb
+			ChunkBytes: 12_500,
+		})
+		if err != nil || resp.Err != "" {
+			t.Errorf("open: %v %s", err, resp.Err)
+			return
+		}
+		for !cl.Done {
+			p.Sleep(10 * sim.Millisecond)
+		}
+		took = p.Now().Sub(t0)
+	})
+	if took < 900*sim.Millisecond || took > 1300*sim.Millisecond {
+		t.Fatalf("1 Mb at 1 Mb/s took %v, want ~1s (paced)", took)
+	}
+}
+
+func TestStreamPauseResume(t *testing.T) {
+	r, _, cl := newStreamRig(t)
+	media := make([]byte, 256<<10)
+	r.run(func(p *sim.Proc) {
+		r.fs.WriteFile(p, "/clip", media, pfs.Policy{})
+		resp, _ := cl.Open(p, "rtsp", StreamOpen{
+			Token: r.token, Path: "/clip",
+			BitrateBps: 8_000_000, ChunkBytes: 16 << 10,
+		})
+		p.Sleep(50 * sim.Millisecond)
+		if err := cl.Ctl(p, "rtsp", resp.Session, "pause"); err != nil {
+			t.Errorf("pause: %v", err)
+			return
+		}
+		got := len(cl.Chunks)
+		p.Sleep(300 * sim.Millisecond)
+		if len(cl.Chunks) > got+1 {
+			t.Error("chunks kept flowing while paused")
+		}
+		if err := cl.Ctl(p, "rtsp", resp.Session, "resume"); err != nil {
+			t.Errorf("resume: %v", err)
+			return
+		}
+		for !cl.Done {
+			p.Sleep(10 * sim.Millisecond)
+		}
+	})
+	if !bytes.Equal(cl.Reassemble(), media) {
+		t.Fatal("pause/resume corrupted stream")
+	}
+}
+
+func TestStreamTeardown(t *testing.T) {
+	r, gw, cl := newStreamRig(t)
+	media := make([]byte, 1<<20)
+	r.run(func(p *sim.Proc) {
+		r.fs.WriteFile(p, "/clip", media, pfs.Policy{})
+		resp, _ := cl.Open(p, "rtsp", StreamOpen{
+			Token: r.token, Path: "/clip",
+			BitrateBps: 1_000_000, ChunkBytes: 16 << 10,
+		})
+		p.Sleep(100 * sim.Millisecond)
+		if err := cl.Ctl(p, "rtsp", resp.Session, "teardown"); err != nil {
+			t.Errorf("teardown: %v", err)
+			return
+		}
+		p.Sleep(200 * sim.Millisecond)
+	})
+	if cl.Done {
+		t.Fatal("stream completed despite teardown")
+	}
+	if gw.Sessions() != 0 {
+		t.Fatal("session survived teardown")
+	}
+}
+
+func TestStreamAuthRequired(t *testing.T) {
+	r, _, cl := newStreamRig(t)
+	r.run(func(p *sim.Proc) {
+		r.fs.WriteFile(p, "/clip", []byte("x"), pfs.Policy{})
+		resp, err := cl.Open(p, "rtsp", StreamOpen{Token: "bogus", Path: "/clip"})
+		if err != nil {
+			t.Errorf("rpc: %v", err)
+			return
+		}
+		if resp.Err == "" {
+			t.Error("unauthenticated stream opened")
+		}
+	})
+}

@@ -1,0 +1,293 @@
+// Package metrics provides the measurement instruments used by every
+// experiment in this repository: counters, latency histograms, throughput
+// meters and small statistical helpers, plus plain-text table rendering for
+// the benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (which must be non-negative).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Gauge is a value that can move in both directions, tracking its maximum.
+type Gauge struct {
+	v, max int64
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	g.v += delta
+	if g.v > g.max {
+		g.max = g.v
+	}
+}
+
+// Set sets the gauge to v.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Max returns the historical maximum.
+func (g *Gauge) Max() int64 { return g.max }
+
+// Histogram records sim.Duration samples in logarithmic buckets
+// (~7% relative width), supporting quantile queries without storing
+// every sample.
+type Histogram struct {
+	buckets map[int]int64
+	count   int64
+	sum     float64
+	min     sim.Duration
+	max     sim.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]int64), min: math.MaxInt64}
+}
+
+const histGrowth = 1.07
+
+func bucketOf(d sim.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return 1 + int(math.Log(float64(d))/math.Log(histGrowth))
+}
+
+func bucketUpper(b int) sim.Duration {
+	if b == 0 {
+		return 0
+	}
+	return sim.Duration(math.Pow(histGrowth, float64(b)))
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d sim.Duration) {
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += float64(d)
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the arithmetic mean of all samples (0 if empty).
+func (h *Histogram) Mean() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / float64(h.count))
+}
+
+// Min returns the smallest sample (0 if empty).
+func (h *Histogram) Min() sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Duration { return h.max }
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1), accurate to
+// the bucket width (~7%). Exact min/max are returned at the extremes.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	keys := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	var cum int64
+	for _, b := range keys {
+		cum += h.buckets[b]
+		if cum >= target {
+			u := bucketUpper(b)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// P50, P99 are convenience quantiles.
+func (h *Histogram) P50() sim.Duration { return h.Quantile(0.50) }
+func (h *Histogram) P99() sim.Duration { return h.Quantile(0.99) }
+
+// Meter measures throughput: bytes (or operations) accumulated over a
+// virtual-time window.
+type Meter struct {
+	bytes int64
+	start sim.Time
+	end   sim.Time
+}
+
+// NewMeter returns a meter whose window opens at start.
+func NewMeter(start sim.Time) *Meter { return &Meter{start: start, end: start} }
+
+// Record adds n bytes/ops observed at time t.
+func (m *Meter) Record(t sim.Time, n int64) {
+	m.bytes += n
+	if t > m.end {
+		m.end = t
+	}
+}
+
+// CloseAt fixes the window end (e.g. the experiment end time).
+func (m *Meter) CloseAt(t sim.Time) {
+	if t > m.end {
+		m.end = t
+	}
+}
+
+// Total returns total bytes/ops recorded.
+func (m *Meter) Total() int64 { return m.bytes }
+
+// Window returns the elapsed window.
+func (m *Meter) Window() sim.Duration { return m.end.Sub(m.start) }
+
+// PerSecond returns the average rate over the window.
+func (m *Meter) PerSecond() float64 {
+	w := m.Window().Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(m.bytes) / w
+}
+
+// Gbps returns the average rate in gigabits per second.
+func (m *Meter) Gbps() float64 { return m.PerSecond() * 8 / 1e9 }
+
+// MBps returns the average rate in megabytes (1e6) per second.
+func (m *Meter) MBps() float64 { return m.PerSecond() / 1e6 }
+
+// Series is an ordered list of (time, value) points, used for
+// throughput-over-time and latency-over-offset plots.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is a single sample in a Series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Add appends a point.
+func (s *Series) Add(t sim.Time, v float64) { s.Points = append(s.Points, Point{t, v}) }
+
+// Mean returns the mean of point values (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, pt := range s.Points {
+		sum += pt.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Stats summarizes a plain slice of float64 observations.
+type Stats struct {
+	N                   int
+	Mean, Std, Min, Max float64
+}
+
+// Summarize computes summary statistics for xs.
+func Summarize(xs []float64) Stats {
+	st := Stats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		st.Min, st.Max = 0, 0
+		return st
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < st.Min {
+			st.Min = x
+		}
+		if x > st.Max {
+			st.Max = x
+		}
+	}
+	st.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - st.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		st.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return st
+}
+
+// CV returns the coefficient of variation (std/mean), the hot-spot metric
+// used in experiment E3: near 0 means perfectly balanced load.
+func (s Stats) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / s.Mean
+}
+
+// FormatBytes renders a byte count with a binary-prefix unit.
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPEZY"[exp])
+}

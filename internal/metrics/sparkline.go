@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// sparkRunes are the eight block-element levels used by Sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact unicode strip — benchrunner uses
+// it for throughput-over-time views (e.g. the E10 failure dip).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// TimeSeries samples a counter-like value into fixed windows so that a
+// throughput-over-time strip can be rendered afterwards.
+type TimeSeries struct {
+	start  sim.Time
+	window sim.Duration
+	vals   []float64
+}
+
+// NewTimeSeries begins sampling at start with the given window width.
+func NewTimeSeries(start sim.Time, window sim.Duration) *TimeSeries {
+	return &TimeSeries{start: start, window: window}
+}
+
+// Record adds v at time t to the matching window.
+func (ts *TimeSeries) Record(t sim.Time, v float64) {
+	if t < ts.start {
+		return
+	}
+	idx := int(t.Sub(ts.start) / ts.window)
+	for len(ts.vals) <= idx {
+		ts.vals = append(ts.vals, 0)
+	}
+	ts.vals[idx] += v
+}
+
+// Values returns the per-window totals.
+func (ts *TimeSeries) Values() []float64 { return append([]float64(nil), ts.vals...) }
+
+// Spark renders the series as a sparkline with a caption.
+func (ts *TimeSeries) Spark(caption string) string {
+	return fmt.Sprintf("%s [%s] (%d windows of %v)", caption, Sparkline(ts.vals), len(ts.vals), ts.window)
+}

@@ -1,0 +1,47 @@
+package pfs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestWriteReadEquivalenceRepro is the regression case for an aligned-start
+// partial-tail overwrite inside a single block, which once skipped the
+// boundary read and zeroed the block's retained tail.
+func TestWriteReadEquivalenceRepro(t *testing.T) {
+	writes := []uint16{0xcc60, 0xe370, 0x7090, 0x6d89, 0xec60, 0xadee, 0x88e8, 0xc4e7, 0x71a4, 0x4973, 0xbfb8, 0xfa6e}
+	k := sim.NewKernel(1)
+	io := newFakeIO("v")
+	fs, _ := New(k, Config{IO: io, Classes: map[string]string{"c": "v"}, DefaultClass: "c"})
+	shadow := make([]byte, 0)
+	k.Go("t", func(p *sim.Proc) {
+		fs.Create("/f", Policy{})
+		for i, w := range writes {
+			off := int64(w) % 3000
+			val := byte(w>>8) | 1
+			chunk := bytes.Repeat([]byte{val}, int(w%700)+1)
+			if _, err := fs.WriteAt(p, "/f", off, chunk); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			if need := off + int64(len(chunk)); need > int64(len(shadow)) {
+				shadow = append(shadow, make([]byte, need-int64(len(shadow)))...)
+			}
+			copy(shadow[off:], chunk)
+			got, err := fs.ReadFile(p, "/f")
+			if err != nil || !bytes.Equal(got, shadow) {
+				for j := range shadow {
+					if j < len(got) && got[j] != shadow[j] {
+						t.Errorf("after write %d (off=%d len=%d): first diff at byte %d: got %d want %d", i, off, len(chunk), j, got[j], shadow[j])
+						return
+					}
+				}
+				t.Errorf("after write %d: len got=%d want=%d", i, len(got), len(shadow))
+				return
+			}
+		}
+	})
+	k.Run()
+}

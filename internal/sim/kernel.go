@@ -1,0 +1,185 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every component of the storage system runs on virtual time supplied by a
+// Kernel. Work is expressed either as plain scheduled callbacks (At/After) or
+// as cooperatively scheduled processes (Go) that may block on Sleep, Mailbox,
+// Future and Semaphore primitives. Exactly one process or callback executes
+// at any instant, and events at equal times fire in scheduling order, so a
+// run is fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis reports d as a floating-point number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Micros reports d as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds reports t as a floating-point number of seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+//
+// A Kernel is not safe for concurrent use; all interaction must happen from
+// the goroutine that calls Run (directly or from within scheduled callbacks
+// and processes, which the kernel serializes).
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	parked chan parkSignal
+	procs  map[*Proc]struct{}
+	closed bool
+	// stopAt, when nonzero, bounds Run: events after it stay queued.
+	stopAt Time
+}
+
+type parkSignal struct{}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan parkSignal),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute time t. Times in the past run "now"
+// (the kernel clock never moves backward).
+func (k *Kernel) At(t Time, fn func()) {
+	if k.closed {
+		return
+	}
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now.Add(d), fn) }
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() { k.run(0) }
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled after t remain queued for a later Run/RunUntil.
+func (k *Kernel) RunUntil(t Time) { k.run(t) }
+
+// RunFor executes events for d of virtual time from now.
+func (k *Kernel) RunFor(d Duration) { k.run(k.now.Add(d)) }
+
+func (k *Kernel) run(until Time) {
+	for len(k.events) > 0 {
+		if until != 0 && k.events.peek().at > until {
+			break
+		}
+		e := heap.Pop(&k.events).(*event)
+		if e.at > k.now {
+			k.now = e.at
+		}
+		e.fn()
+	}
+	if until > k.now {
+		k.now = until
+	}
+}
+
+// Close terminates every blocked process (their stack frames unwind via an
+// internal panic recovered by the kernel) and drops all queued events. It is
+// safe to call Close more than once. After Close the kernel is inert.
+func (k *Kernel) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.events = nil
+	for p := range k.procs {
+		if p.blocked {
+			p.killed = true
+			p.resume <- parkSignal{}
+			<-k.parked
+		}
+	}
+	k.procs = nil
+}

@@ -1,0 +1,110 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperatively scheduled simulation process.
+//
+// A process is backed by a goroutine, but the kernel guarantees that at most
+// one process (or callback) runs at a time: a process only executes between a
+// kernel wake-up and its next blocking call (Sleep, Mailbox.Recv,
+// Future.Wait, Semaphore.Acquire, ...). Methods on Proc must only be invoked
+// from the process's own body.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan parkSignal
+	blocked bool
+	killed  bool
+	done    bool
+	// gen increments every time the process unblocks, invalidating wake
+	// events scheduled for an earlier blocking point.
+	gen uint64
+}
+
+type killedPanic struct{ name string }
+
+func (kp killedPanic) String() string { return "sim: proc " + kp.name + " killed by Kernel.Close" }
+
+// Go spawns a process named name running fn. The process body starts at the
+// current virtual time, after already-queued events at this time.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan parkSignal)}
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			p.done = true
+			delete(k.procs, p)
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); ok {
+					k.parked <- parkSignal{}
+					return
+				}
+				panic(fmt.Sprintf("sim: proc %q panicked: %v", name, r))
+			}
+			k.parked <- parkSignal{}
+		}()
+		fn(p)
+	}()
+	p.blocked = true
+	k.At(k.now, func() { k.wake(p) })
+	return p
+}
+
+// wake transfers control to p and blocks the kernel until p parks or exits.
+func (k *Kernel) wake(p *Proc) {
+	if p.done || !p.blocked {
+		return
+	}
+	p.blocked = false
+	p.resume <- parkSignal{}
+	<-k.parked
+}
+
+// park blocks p until the kernel wakes it again.
+func (p *Proc) park() {
+	p.blocked = true
+	p.k.parked <- parkSignal{}
+	<-p.resume
+	p.gen++
+	if p.killed {
+		panic(killedPanic{p.name})
+	}
+}
+
+// wakeEvent returns a callback that wakes p, valid only for p's current
+// blocking period: if p has already been woken by something else when the
+// callback fires, it is a no-op. Primitives schedule this (via Kernel.At)
+// instead of waking directly so equal-time events keep FIFO order.
+func (p *Proc) wakeEvent() func() {
+	g := p.gen
+	return func() {
+		if !p.done && p.blocked && p.gen == g {
+			p.k.wake(p)
+		}
+	}
+}
+
+// Name returns the process name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// Sleep blocks the process for d of virtual time. Non-positive durations
+// yield to other events scheduled at the current time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.At(k.now.Add(d), p.wakeEvent())
+	p.park()
+}
+
+// Yield lets every other event already scheduled at the current time run
+// before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ErrTimeout is returned by Call when the reply does not arrive in time —
+// the way a live system notices a dead controller blade.
+var ErrTimeout = errors.New("simnet: rpc timeout")
+
+// ErrUnreachable is returned when no route exists or the peer is down at
+// send time.
+var ErrUnreachable = errors.New("simnet: peer unreachable")
+
+// Handler serves one RPC method. It runs in its own simulation process, so
+// it may block on disk and network operations. It returns the result payload
+// and the wire size of the reply.
+type Handler func(p *sim.Proc, from Addr, args any) (result any, size int)
+
+type rpcRequest struct {
+	id     uint64
+	method string
+	args   any
+}
+
+type rpcReply struct {
+	id     uint64
+	result any
+}
+
+// Conn is an RPC endpoint: it can both serve registered methods and call
+// methods on peers. One Conn owns its node's message delivery.
+type Conn struct {
+	ep       *Endpoint
+	handlers map[string]Handler
+	pending  map[uint64]*sim.Future[any]
+	nextID   uint64
+	// DefaultTimeout bounds Call when no explicit timeout is given.
+	// Zero means wait forever.
+	DefaultTimeout sim.Duration
+	// served counts requests handled, for load-balance accounting.
+	served int64
+}
+
+// NewConn attaches an RPC connection to addr on net.
+func NewConn(net *Network, addr Addr) *Conn {
+	c := &Conn{
+		ep:       net.Node(addr),
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]*sim.Future[any]),
+	}
+	c.ep.Handle(c.onMessage)
+	return c
+}
+
+// Addr returns the connection's network address.
+func (c *Conn) Addr() Addr { return c.ep.Addr() }
+
+// Network returns the underlying network.
+func (c *Conn) Network() *Network { return c.ep.Network() }
+
+// Served reports how many requests this connection has handled.
+func (c *Conn) Served() int64 { return c.served }
+
+// Register installs a handler for method. Registering a method twice
+// replaces the earlier handler.
+func (c *Conn) Register(method string, h Handler) { c.handlers[method] = h }
+
+func (c *Conn) onMessage(msg Message) {
+	k := c.ep.Network().Kernel()
+	switch m := msg.Payload.(type) {
+	case rpcRequest:
+		h, ok := c.handlers[m.method]
+		if !ok {
+			panic(fmt.Sprintf("simnet: %s has no handler for %q", c.Addr(), m.method))
+		}
+		c.served++
+		k.Go(string(c.Addr())+"/"+m.method, func(p *sim.Proc) {
+			result, size := h(p, msg.From, m.args)
+			c.ep.Send(msg.From, rpcReply{id: m.id, result: result}, size)
+		})
+	case rpcReply:
+		if f, ok := c.pending[m.id]; ok {
+			delete(c.pending, m.id)
+			f.Set(m.result)
+		}
+	default:
+		panic(fmt.Sprintf("simnet: %s received non-RPC payload %T", c.Addr(), msg.Payload))
+	}
+}
+
+// Call invokes method on dst, blocking p until the reply arrives, the
+// DefaultTimeout expires, or the peer is unreachable. argSize is the request
+// wire size in bytes.
+func (c *Conn) Call(p *sim.Proc, dst Addr, method string, args any, argSize int) (any, error) {
+	return c.CallTimeout(p, dst, method, args, argSize, c.DefaultTimeout)
+}
+
+// CallTimeout is Call with an explicit timeout (zero = wait forever).
+func (c *Conn) CallTimeout(p *sim.Proc, dst Addr, method string, args any, argSize int, timeout sim.Duration) (any, error) {
+	k := c.ep.Network().Kernel()
+	c.nextID++
+	id := c.nextID
+	f := sim.NewFuture[any](k)
+	c.pending[id] = f
+	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args}, argSize) {
+		delete(c.pending, id)
+		return nil, ErrUnreachable
+	}
+	timedOut := false
+	if timeout > 0 {
+		k.After(timeout, func() {
+			if pf, ok := c.pending[id]; ok && pf == f {
+				delete(c.pending, id)
+				timedOut = true
+				f.Set(nil)
+			}
+		})
+	}
+	result := f.Wait(p)
+	if timedOut {
+		return nil, ErrTimeout
+	}
+	return result, nil
+}
+
+// Go starts an asynchronous call, returning a future that yields the reply
+// payload (nil on unreachable/timeout paths — use Call for error detail).
+func (c *Conn) Go(dst Addr, method string, args any, argSize int, timeout sim.Duration) *sim.Future[any] {
+	k := c.ep.Network().Kernel()
+	c.nextID++
+	id := c.nextID
+	f := sim.NewFuture[any](k)
+	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args}, argSize) {
+		f.Set(nil)
+		return f
+	}
+	c.pending[id] = f
+	if timeout > 0 {
+		k.After(timeout, func() {
+			if pf, ok := c.pending[id]; ok && pf == f {
+				delete(c.pending, id)
+				f.Set(nil)
+			}
+		})
+	}
+	return f
+}

@@ -1,0 +1,180 @@
+// Package workload generates the I/O patterns the paper's evaluation
+// needs: sequential streams that feed "heavy iron", uniform random access
+// from clustered clients, and the Zipf-skewed "hot data" pattern whose hot
+// spots gate traditional controllers (§2). Clients are closed-loop: each
+// issues its next operation when the previous completes, so measured
+// throughput reflects system capacity, not an open-loop overload.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Op is one generated operation.
+type Op struct {
+	LBA    int64
+	Blocks int
+	Write  bool
+}
+
+// Pattern produces a stream of operations.
+type Pattern interface {
+	Next(rng *rand.Rand) Op
+}
+
+// Sequential streams forward from Start, wrapping at Limit.
+type Sequential struct {
+	Start  int64
+	Limit  int64
+	Blocks int
+	cursor int64
+}
+
+// Next returns the next sequential run.
+func (s *Sequential) Next(rng *rand.Rand) Op {
+	if s.Blocks <= 0 {
+		s.Blocks = 16
+	}
+	lba := s.Start + s.cursor
+	if lba+int64(s.Blocks) > s.Limit {
+		s.cursor = 0
+		lba = s.Start
+	}
+	s.cursor += int64(s.Blocks)
+	return Op{LBA: lba, Blocks: s.Blocks}
+}
+
+// Uniform picks block addresses uniformly over [0, Range).
+type Uniform struct {
+	Range     int64
+	Blocks    int
+	WriteFrac float64
+}
+
+// Next returns a uniformly random operation.
+func (u Uniform) Next(rng *rand.Rand) Op {
+	blocks := u.Blocks
+	if blocks <= 0 {
+		blocks = 1
+	}
+	lba := rng.Int63n(max64(u.Range-int64(blocks), 1))
+	return Op{LBA: lba, Blocks: blocks, Write: rng.Float64() < u.WriteFrac}
+}
+
+// Zipf skews accesses so a small set of blocks is hit extremely hard —
+// the paper's "hot data" (§2). S > 1 controls the skew.
+type Zipf struct {
+	Range     int64
+	S         float64
+	Blocks    int
+	WriteFrac float64
+	z         *rand.Zipf
+}
+
+// Next returns a Zipf-distributed operation.
+func (z *Zipf) Next(rng *rand.Rand) Op {
+	if z.z == nil {
+		s := z.S
+		if s <= 1 {
+			s = 1.1
+		}
+		z.z = rand.NewZipf(rng, s, 1, uint64(max64(z.Range-1, 1)))
+	}
+	blocks := z.Blocks
+	if blocks <= 0 {
+		blocks = 1
+	}
+	return Op{LBA: int64(z.z.Uint64()), Blocks: blocks, Write: rng.Float64() < z.WriteFrac}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Target is what a client drives — an adapter over a cluster volume, a
+// baseline array volume, or a gateway LUN.
+type Target interface {
+	BlockSize() int
+	Read(p *sim.Proc, lba int64, blocks int) error
+	Write(p *sim.Proc, lba int64, blocks int) error
+}
+
+// Runner drives a closed-loop client population against a Target.
+type Runner struct {
+	K        *sim.Kernel
+	Clients  int
+	Pattern  func(client int) Pattern // per-client pattern factory
+	Target   Target
+	Duration sim.Duration
+	// ThinkTime inserts idle time between a completion and the next
+	// issue (0 = saturating clients).
+	ThinkTime sim.Duration
+
+	// Results
+	Latency *metrics.Histogram
+	Bytes   *metrics.Meter
+	// Series, when non-nil, receives per-completion byte counts for
+	// throughput-over-time rendering.
+	Series *metrics.TimeSeries
+	Ops    int64
+	Errs   int64
+}
+
+// Start spawns the client processes. The caller then advances the kernel
+// (RunFor/RunUntil); clients stop at the deadline.
+func (r *Runner) Start() {
+	if r.Latency == nil {
+		r.Latency = metrics.NewHistogram()
+	}
+	if r.Bytes == nil {
+		r.Bytes = metrics.NewMeter(r.K.Now())
+	}
+	deadline := r.K.Now().Add(r.Duration)
+	bs := int64(r.Target.BlockSize())
+	for c := 0; c < r.Clients; c++ {
+		pattern := r.Pattern(c)
+		rng := rand.New(rand.NewSource(r.K.Rand().Int63()))
+		r.K.Go("client", func(p *sim.Proc) {
+			for p.Now() < deadline {
+				op := pattern.Next(rng)
+				start := p.Now()
+				var err error
+				if op.Write {
+					err = r.Target.Write(p, op.LBA, op.Blocks)
+				} else {
+					err = r.Target.Read(p, op.LBA, op.Blocks)
+				}
+				if err != nil {
+					r.Errs++
+					// Back off briefly rather than hot-looping on a
+					// failed component.
+					p.Sleep(sim.Millisecond)
+					continue
+				}
+				r.Ops++
+				r.Latency.Observe(p.Now().Sub(start))
+				r.Bytes.Record(p.Now(), int64(op.Blocks)*bs)
+				if r.Series != nil {
+					r.Series.Record(p.Now(), float64(int64(op.Blocks)*bs))
+				}
+				if r.ThinkTime > 0 {
+					p.Sleep(r.ThinkTime)
+				}
+			}
+		})
+	}
+}
+
+// Run starts the clients and advances the kernel through the full
+// duration, then closes the throughput meter.
+func (r *Runner) Run() {
+	r.Start()
+	r.K.RunFor(r.Duration)
+	r.Bytes.CloseAt(r.K.Now())
+}

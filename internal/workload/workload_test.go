@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// fakeTarget counts operations with a fixed service time.
+type fakeTarget struct {
+	bs      int
+	svc     sim.Duration
+	reads   int64
+	writes  int64
+	maxLBA  int64
+	failAll bool
+}
+
+func (f *fakeTarget) BlockSize() int { return f.bs }
+
+func (f *fakeTarget) Read(p *sim.Proc, lba int64, blocks int) error {
+	if f.failAll {
+		return errTest
+	}
+	if lba > f.maxLBA {
+		f.maxLBA = lba
+	}
+	p.Sleep(f.svc)
+	f.reads++
+	return nil
+}
+
+func (f *fakeTarget) Write(p *sim.Proc, lba int64, blocks int) error {
+	if f.failAll {
+		return errTest
+	}
+	p.Sleep(f.svc)
+	f.writes++
+	return nil
+}
+
+var errTest = errString("test failure")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestSequentialWraps(t *testing.T) {
+	s := &Sequential{Start: 0, Limit: 64, Blocks: 16}
+	rng := rand.New(rand.NewSource(1))
+	var lbas []int64
+	for i := 0; i < 6; i++ {
+		lbas = append(lbas, s.Next(rng).LBA)
+	}
+	want := []int64{0, 16, 32, 48, 0, 16}
+	for i := range want {
+		if lbas[i] != want[i] {
+			t.Fatalf("lbas = %v, want %v", lbas, want)
+		}
+	}
+}
+
+func TestUniformInRange(t *testing.T) {
+	u := Uniform{Range: 1000, Blocks: 4, WriteFrac: 0.3}
+	rng := rand.New(rand.NewSource(2))
+	writes := 0
+	for i := 0; i < 2000; i++ {
+		op := u.Next(rng)
+		if op.LBA < 0 || op.LBA+int64(op.Blocks) > 1000 {
+			t.Fatalf("op out of range: %+v", op)
+		}
+		if op.Write {
+			writes++
+		}
+	}
+	if writes < 450 || writes > 750 {
+		t.Fatalf("writes = %d/2000, want ~600 (30%%)", writes)
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	z := &Zipf{Range: 10000, S: 1.2}
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[int64]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[z.Next(rng).LBA]++
+	}
+	// The hottest block should carry far more than a uniform share.
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < n/100 {
+		t.Fatalf("hottest block only %d/%d accesses; not skewed", maxC, n)
+	}
+}
+
+// Property: Zipf never exceeds its range.
+func TestZipfRangeProperty(t *testing.T) {
+	f := func(seed int64, rangeRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := int64(rangeRaw) + 2
+		z := &Zipf{Range: r, S: 1.5}
+		for i := 0; i < 50; i++ {
+			if op := z.Next(rng); op.LBA < 0 || op.LBA >= r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerClosedLoop(t *testing.T) {
+	k := sim.NewKernel(1)
+	target := &fakeTarget{bs: 512, svc: sim.Millisecond}
+	r := &Runner{
+		K:        k,
+		Clients:  4,
+		Pattern:  func(int) Pattern { return Uniform{Range: 1000, Blocks: 1} },
+		Target:   target,
+		Duration: sim.Second,
+	}
+	r.Run()
+	// 4 closed-loop clients at 1 ms service ≈ 4000 ops per second.
+	if r.Ops < 3800 || r.Ops > 4100 {
+		t.Fatalf("ops = %d, want ~4000", r.Ops)
+	}
+	if r.Latency.Count() != r.Ops {
+		t.Fatalf("latency samples %d != ops %d", r.Latency.Count(), r.Ops)
+	}
+	if got := r.Latency.Mean(); got < sim.Millisecond || got > 2*sim.Millisecond {
+		t.Fatalf("mean latency %v, want ~1ms", got)
+	}
+	if r.Bytes.Total() != r.Ops*512 {
+		t.Fatalf("bytes = %d", r.Bytes.Total())
+	}
+}
+
+func TestRunnerThinkTime(t *testing.T) {
+	k := sim.NewKernel(1)
+	target := &fakeTarget{bs: 512, svc: sim.Millisecond}
+	r := &Runner{
+		K:         k,
+		Clients:   1,
+		Pattern:   func(int) Pattern { return Uniform{Range: 100, Blocks: 1} },
+		Target:    target,
+		Duration:  sim.Second,
+		ThinkTime: 9 * sim.Millisecond,
+	}
+	r.Run()
+	// 1 ms service + 9 ms think = 100 ops/s.
+	if r.Ops < 95 || r.Ops > 105 {
+		t.Fatalf("ops = %d, want ~100", r.Ops)
+	}
+}
+
+func TestRunnerCountsErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	target := &fakeTarget{bs: 512, svc: sim.Millisecond, failAll: true}
+	r := &Runner{
+		K:        k,
+		Clients:  2,
+		Pattern:  func(int) Pattern { return Uniform{Range: 100, Blocks: 1} },
+		Target:   target,
+		Duration: 100 * sim.Millisecond,
+	}
+	r.Run()
+	if r.Errs == 0 || r.Ops != 0 {
+		t.Fatalf("errs=%d ops=%d, want all errors", r.Errs, r.Ops)
+	}
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	runOnce := func() int64 {
+		k := sim.NewKernel(42)
+		target := &fakeTarget{bs: 512, svc: 500 * sim.Microsecond}
+		r := &Runner{
+			K:        k,
+			Clients:  3,
+			Pattern:  func(int) Pattern { return &Zipf{Range: 500, S: 1.1, WriteFrac: 0.2} },
+			Target:   target,
+			Duration: 200 * sim.Millisecond,
+		}
+		r.Run()
+		return r.Ops
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("nondeterministic runner: %d vs %d", a, b)
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	k := sim.NewKernel(1)
+	target := &fakeTarget{bs: 4096, svc: sim.Millisecond}
+	m := metrics.NewMeter(0)
+	r := &Runner{
+		K:        k,
+		Clients:  1,
+		Pattern:  func(int) Pattern { return &Sequential{Limit: 1 << 20, Blocks: 8} },
+		Target:   target,
+		Duration: sim.Second,
+		Bytes:    m,
+	}
+	r.Run()
+	if m.MBps() <= 0 {
+		t.Fatal("meter recorded nothing")
+	}
+}
