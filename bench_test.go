@@ -68,6 +68,11 @@ func BenchmarkE9Encryption(b *testing.B) { runExperiment(b, experiments.E9) }
 // failure and recovery.
 func BenchmarkE10Availability(b *testing.B) { runExperiment(b, experiments.E10) }
 
+// BenchmarkE11LossyFabric — §6.3: the same double failure over a fabric
+// that drops, duplicates, and delays messages; the retry layer keeps
+// errors bounded and acknowledged writes intact.
+func BenchmarkE11LossyFabric(b *testing.B) { runExperiment(b, experiments.E11) }
+
 // BenchmarkA1Prefetch — ablation: geographic prefetch on/off.
 func BenchmarkA1Prefetch(b *testing.B) { runExperiment(b, experiments.A1Prefetch) }
 

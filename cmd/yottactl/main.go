@@ -24,6 +24,8 @@
 //	export <lun> <volume>           publish a volume as a LUN
 //	failblade <id>                  kill a controller blade
 //	revive <id>                     bring a blade back
+//	faults <drop%> <dup%> <delay%> <maxdelay-ms>   inject fabric faults
+//	faults off                      disable fault injection
 //	faildisk <group> <idx>          fail a drive
 //	rebuild <group> <idx>           distributed rebuild
 //	clone <src> <dst>               distributed mirror creation
@@ -48,6 +50,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/security"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 const defaultScript = `
@@ -226,6 +229,42 @@ func execute(p *sim.Proc, sys *core.System, line string) error {
 		}
 		sys.Mask.Allow(args[0], args[1], access)
 		return nil
+	case "faults":
+		if len(args) == 1 && args[0] == "off" {
+			sys.Cluster.SetFaultPlan(simnet.FaultPlan{})
+			fmt.Println("  fault injection disabled")
+			return nil
+		}
+		if len(args) != 4 {
+			return fmt.Errorf("usage: faults <drop%%> <dup%%> <delay%%> <maxdelay-ms> | faults off")
+		}
+		pct := func(s string) (float64, error) {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v < 0 || v > 100 {
+				return 0, fmt.Errorf("bad percentage %q", s)
+			}
+			return v / 100, nil
+		}
+		var plan simnet.FaultPlan
+		var err error
+		if plan.DropProb, err = pct(args[0]); err != nil {
+			return err
+		}
+		if plan.DupProb, err = pct(args[1]); err != nil {
+			return err
+		}
+		if plan.DelayProb, err = pct(args[2]); err != nil {
+			return err
+		}
+		ms, err := strconv.ParseFloat(args[3], 64)
+		if err != nil || ms < 0 {
+			return fmt.Errorf("bad max delay %q", args[3])
+		}
+		plan.MaxExtraDelay = sim.Duration(ms * float64(sim.Millisecond))
+		sys.Cluster.SetFaultPlan(plan)
+		fmt.Printf("  fault plan: drop %s%% dup %s%% delay %s%% (max +%v) on every fabric link\n",
+			args[0], args[1], args[2], plan.MaxExtraDelay)
+		return nil
 	case "failblade":
 		return sys.Cluster.FailBlade(p, int(atoi(args[0])))
 	case "revive":
@@ -285,6 +324,13 @@ func printStatus(sys *core.System) {
 	c := sys.Cluster
 	fmt.Printf("  t=%v\n", c.K.Now())
 	fmt.Printf("  blades: %d total, %v alive\n", len(c.Blades), c.Alive())
+	if tot := c.FabricTotals(); tot.RPC.Timeouts+tot.RPC.Retries+tot.RPC.GaveUp+tot.DegradedOps+tot.WritebackErrors > 0 || c.Net.FaultsActive() {
+		fmt.Printf("  fabric: %d timeouts, %d retries, %d gave-up calls, %d degraded ops, %d writeback errors\n",
+			tot.RPC.Timeouts, tot.RPC.Retries, tot.RPC.GaveUp, tot.DegradedOps, tot.WritebackErrors)
+		f := c.Net.Faults
+		fmt.Printf("  injected faults: %d dropped, %d duplicated, %d delayed\n",
+			f.Dropped, f.Duplicated, f.Delayed)
+	}
 	healthy := 0
 	for _, d := range c.Farm.Disks {
 		if !d.Failed() {

@@ -60,9 +60,11 @@ type Entry struct {
 	lane int
 }
 
-// Stats counts cache activity.
+// Stats counts cache activity. Inserts counts new entries only; replacing
+// an existing entry's content via Put counts as a Replace, not an Insert
+// (Len and capacity accounting are unaffected by replaces).
 type Stats struct {
-	Hits, Misses, Evictions, Inserts int64
+	Hits, Misses, Evictions, Inserts, Replaces int64
 }
 
 // Cache is a fixed-capacity block cache. It is a passive data structure:
@@ -126,8 +128,14 @@ func (c *Cache) Put(key Key, data []byte, state State, dirty bool, priority int)
 	if e, ok := c.entries[key]; ok {
 		c.lanes[e.lane].Remove(e.elem)
 		e.Data, e.State, e.Dirty, e.Priority = data, state, dirty, priority
+		// The replace path rewrites Data, so it must bump Version like
+		// every other data update: writeback paths compare Version before
+		// clearing Dirty, and a silent replace would let a concurrent
+		// destage mark the new content clean without persisting it.
+		e.Version++
 		e.lane = priority
 		e.elem = c.lanes[priority].PushBack(e)
+		c.stats.Replaces++
 		return e
 	}
 	e := &Entry{Key: key, Data: data, State: state, Dirty: dirty, Priority: priority, lane: priority}

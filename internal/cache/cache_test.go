@@ -237,3 +237,42 @@ func TestVictimLRUWithinLaneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPutReplaceBumpsVersion(t *testing.T) {
+	c := New(10)
+	e := c.Put(key(1), []byte{1}, Shared, false, 0)
+	v0 := e.Version
+	// Replacing the content must bump Version: writeback paths compare
+	// the version they captured before destaging against the entry's
+	// current version before clearing Dirty, and a silent replace would
+	// let them mark the new content clean without persisting it.
+	e2 := c.Put(key(1), []byte{2}, Modified, true, 0)
+	if e2 != e {
+		t.Fatal("replace allocated a new entry")
+	}
+	if e2.Version <= v0 {
+		t.Fatalf("Version = %d after replace, want > %d", e2.Version, v0)
+	}
+	prev := e2.Version
+	c.Put(key(1), []byte{3}, Modified, true, 0)
+	if e2.Version <= prev {
+		t.Fatalf("Version = %d after second replace, want > %d", e2.Version, prev)
+	}
+}
+
+func TestPutCountsInsertsAndReplacesSeparately(t *testing.T) {
+	c := New(10)
+	c.Put(key(1), []byte{1}, Shared, false, 0)
+	c.Put(key(2), []byte{2}, Shared, false, 0)
+	c.Put(key(1), []byte{9}, Modified, true, 0) // replace, not insert
+	st := c.Stats()
+	if st.Inserts != 2 {
+		t.Fatalf("Inserts = %d, want 2 (replaces must not count)", st.Inserts)
+	}
+	if st.Replaces != 1 {
+		t.Fatalf("Replaces = %d, want 1", st.Replaces)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}

@@ -39,6 +39,20 @@ type Backing interface {
 // ErrNoQuorum is returned when no live blade can home a block.
 var ErrNoQuorum = errors.New("coherence: no live blades")
 
+// ErrDegraded marks an operation abandoned because fabric retries were
+// exhausted: the blade is up but could not complete the protocol exchange
+// in time. Callers fail the one operation instead of wedging the process;
+// the next operation retries from scratch.
+var ErrDegraded = errors.New("coherence: degraded: fabric retries exhausted")
+
+// Default fabric retry policy: a per-attempt deadline generous enough for
+// a destage-laden protocol exchange, three attempts, jittered backoff.
+const (
+	defaultRPCTimeout  = 2 * sim.Second
+	defaultRPCAttempts = 3
+	defaultRPCBackoff  = 500 * sim.Microsecond
+)
+
 // Config assembles an Engine.
 type Config struct {
 	// Conn is this blade's fabric RPC endpoint.
@@ -73,6 +87,10 @@ type Config struct {
 	// ReadAhead, when positive, prefetches this many following blocks
 	// after a detected sequential read run (§4).
 	ReadAhead int
+	// Retry tunes the bounded retry loop wrapped around every protocol
+	// call (GetS/GetX/Inv/Downgrade/Fetch). Zero fields select defaults:
+	// 2 s per-attempt deadline, 3 attempts, 500 µs jittered backoff.
+	Retry simnet.RetryPolicy
 }
 
 // Stats counts engine activity.
@@ -87,6 +105,12 @@ type Stats struct {
 	DirRequests   int64 // GetS/GetX handled as home
 	WriteRetries  int64
 	Prefetches    int64 // readahead blocks pulled (§4)
+	// DegradedOps counts protocol calls abandoned after the fabric retry
+	// budget was exhausted (the op failed with ErrDegraded).
+	DegradedOps int64
+	// WritebackErrors counts failed destages of dirty blocks (makeRoom
+	// and the flusher); the block stays dirty and is retried later.
+	WritebackErrors int64
 }
 
 type dirState uint8
@@ -116,6 +140,7 @@ type Engine struct {
 	opDelay   sim.Duration
 	hdlDelay  sim.Duration
 	cpu       *sim.Semaphore
+	retry     simnet.RetryPolicy
 
 	alive []int // sorted live blade IDs; must agree across blades
 
@@ -184,6 +209,19 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 	if slots <= 0 {
 		slots = 4
 	}
+	retry := cfg.Retry
+	if retry.Timeout <= 0 {
+		retry.Timeout = defaultRPCTimeout
+	}
+	if retry.Attempts < 1 {
+		retry.Attempts = defaultRPCAttempts
+	}
+	if retry.Backoff <= 0 {
+		retry.Backoff = defaultRPCBackoff
+	}
+	if retry.Jitter <= 0 {
+		retry.Jitter = retry.Backoff
+	}
 	e := &Engine{
 		k:           k,
 		conn:        cfg.Conn,
@@ -195,6 +233,7 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 		opDelay:     cfg.OpDelay,
 		hdlDelay:    cfg.HandlerDelay,
 		cpu:         sim.NewSemaphore(k, slots),
+		retry:       retry,
 		dir:         make(map[cache.Key]*dirEntry),
 		invEpoch:    make(map[cache.Key]uint64),
 		replicate:   cfg.ReplicateDirty,
@@ -255,6 +294,25 @@ func (e *Engine) busy(p *sim.Proc, d sim.Duration) {
 	e.cpu.Release(1)
 }
 
+// call runs one protocol RPC under the engine's retry policy. An exhausted
+// retry budget maps to ErrDegraded: the operation fails cleanly instead of
+// wedging a process on a fabric that is dropping messages.
+func (e *Engine) call(p *sim.Proc, blade int, method string, args any, size int) (any, error) {
+	raw, err := e.conn.CallRetry(p, e.peers[blade], method, args, size, e.retry)
+	if err != nil {
+		if errors.Is(err, simnet.ErrTimeout) {
+			e.stats.DegradedOps++
+			return nil, fmt.Errorf("%w: %s to blade %d: %v", ErrDegraded, method, blade, err)
+		}
+		return nil, err
+	}
+	return raw, nil
+}
+
+// RPCStats returns the fabric fault counters of this blade's connection
+// (timeouts, retries, gave-up calls — shared with the replication manager).
+func (e *Engine) RPCStats() simnet.RPCStats { return e.conn.Stats() }
+
 func (e *Engine) entry(key cache.Key) *dirEntry {
 	ent, ok := e.dir[key]
 	if !ok {
@@ -284,7 +342,7 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 	e.busy(p, e.opDelay)
 	if ent, ok := e.cache.Get(key); ok && ent.State != cache.Invalid {
 		e.stats.LocalHits++
-		trace(key, "t=%v blade%d read HIT state=%v dirty=%v v=%d d0=%d", p.Now(), e.self, ent.State, ent.Dirty, ent.Version, ent.Data[0])
+		trace(key, "t=%v blade%d read HIT state=%v dirty=%v v=%d d0=%d", p.Now(), e.self, ent.State, ent.Dirty, ent.Version, d0(ent.Data))
 		return append([]byte(nil), ent.Data...), nil
 	}
 	homeID, err := e.home(key)
@@ -292,7 +350,7 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 		return nil, err
 	}
 	epoch := e.invEpoch[key]
-	raw, err := e.conn.Call(p, e.peers[homeID], "coh.gets", getSReq{Key: key}, ctrlSize)
+	raw, err := e.call(p, homeID, "coh.gets", getSReq{Key: key}, ctrlSize)
 	if err != nil {
 		return nil, fmt.Errorf("coherence: gets to blade %d: %w", homeID, err)
 	}
@@ -316,12 +374,16 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 		return data, nil
 	}
 	if e.invEpoch[key] == epoch {
-		e.makeRoom(p)
-		// makeRoom may block on writeback; re-check that no invalidation
-		// arrived meanwhile before installing the Shared copy.
-		if e.invEpoch[key] == epoch {
-			e.cache.Put(key, data, cache.Shared, false, priority)
-			trace(key, "t=%v blade%d read MISS install S d0=%d (peer=%v)", p.Now(), e.self, data[0], resp.Data != nil)
+		// A failed makeRoom (backing store refusing writebacks) degrades
+		// to serving the read uncached rather than failing it.
+		if err := e.makeRoom(p); err == nil {
+			// makeRoom may block on writeback; re-check that no
+			// invalidation arrived meanwhile before installing the
+			// Shared copy.
+			if e.invEpoch[key] == epoch {
+				e.cache.Put(key, data, cache.Shared, false, priority)
+				trace(key, "t=%v blade%d read MISS install S d0=%d (peer=%v)", p.Now(), e.self, d0(data), resp.Data != nil)
+			}
 		}
 	}
 	return append([]byte(nil), data...), nil
@@ -353,7 +415,7 @@ func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, 
 	}
 	for attempt := 0; ; attempt++ {
 		epoch := e.invEpoch[key]
-		raw, err := e.conn.Call(p, e.peers[homeID], "coh.getx", getXReq{Key: key}, ctrlSize)
+		raw, err := e.call(p, homeID, "coh.getx", getXReq{Key: key}, ctrlSize)
 		if err != nil {
 			return fmt.Errorf("coherence: getx to blade %d: %w", homeID, err)
 		}
@@ -381,9 +443,14 @@ func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, 
 			ex.Dirty = true
 			ex.Version++
 			entry = ex
-			trace(key, "t=%v blade%d write in-place M d0=%d v=%d", p.Now(), e.self, stored[0], ex.Version)
+			trace(key, "t=%v blade%d write in-place M d0=%d v=%d", p.Now(), e.self, d0(stored), ex.Version)
 		} else {
-			e.makeRoom(p)
+			if err := e.makeRoom(p); err != nil {
+				// No room and the backing store refuses writebacks:
+				// fail the write rather than pile dirty data past
+				// capacity on a store that cannot drain it.
+				return fmt.Errorf("coherence: write to %v: %w", key, err)
+			}
 			// makeRoom may block on writeback; if ownership was stolen
 			// meanwhile, installing M now would create a second owner.
 			if e.invEpoch[key] != epoch {
@@ -392,7 +459,7 @@ func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, 
 			}
 			entry = e.cache.Put(key, stored, cache.Modified, true, priority)
 			entry.Version++
-			trace(key, "t=%v blade%d write install M d0=%d", p.Now(), e.self, stored[0])
+			trace(key, "t=%v blade%d write install M d0=%d", p.Now(), e.self, d0(stored))
 		}
 		if e.replicate != nil {
 			if err := e.replicate(p, key, stored, entry.Version, replFactor); err != nil {
@@ -403,20 +470,38 @@ func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, 
 	}
 }
 
+// maxWritebackFailures bounds how many failed destages one makeRoom call
+// tolerates before giving up: Victim() reselects the same dirty entry when
+// the backing store errors persistently, and an unbounded loop would spin
+// a process forever on a store that cannot drain.
+const maxWritebackFailures = 4
+
 // makeRoom evicts until one insertion fits, writing dirty victims back.
-func (e *Engine) makeRoom(p *sim.Proc) {
+// It returns a non-nil error only when room could not be made because the
+// backing store kept refusing writebacks; the caller decides whether the
+// operation can proceed uncached or must fail.
+func (e *Engine) makeRoom(p *sim.Proc) error {
+	failures := 0
 	for e.cache.NeedsRoom(1) {
 		v := e.cache.Victim()
 		if v == nil {
-			return
+			return nil
 		}
 		if v.Dirty {
 			v.Pinned = true
 			ver := v.Version
 			err := e.backing.WriteBlock(p, v.Key, v.Data)
 			v.Pinned = false
-			if err != nil || v.Version != ver {
-				continue // updated mid-writeback (or store error): reselect
+			if err != nil {
+				e.stats.WritebackErrors++
+				failures++
+				if failures >= maxWritebackFailures {
+					return fmt.Errorf("coherence: makeRoom: writeback of %v failed %d times: %w", v.Key, failures, err)
+				}
+				continue // bounded retry (Victim reselects the same entry)
+			}
+			if v.Version != ver {
+				continue // updated mid-writeback: reselect
 			}
 			v.Dirty = false
 			e.stats.Writebacks++
@@ -433,6 +518,7 @@ func (e *Engine) makeRoom(p *sim.Proc) {
 				evictNote{Key: v.Key, From: e.self, WasOwner: wasOwner}, ctrlSize, 0)
 		}
 	}
+	return nil
 }
 
 // maybeReadAhead detects sequential read runs per volume and pulls the

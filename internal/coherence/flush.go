@@ -34,6 +34,7 @@ func (e *Engine) FlushOnce(p *sim.Proc, max int) int {
 			err := e.backing.WriteBlock(q, ent.Key, ent.Data)
 			ent.Pinned = false
 			if err != nil {
+				e.stats.WritebackErrors++
 				return
 			}
 			if ent.Version == ver {

@@ -1,14 +1,12 @@
 package coherence
 
 import (
+	"sort"
+
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
-
-// peerTimeout bounds protocol calls to other blades: a blade that died
-// mid-protocol is detected here and treated per invariant 3.
-const peerTimeout = 2 * sim.Second
 
 func bladeID(peers []simnet.Addr, addr simnet.Addr) int {
 	for i, a := range peers {
@@ -17,6 +15,18 @@ func bladeID(peers []simnet.Addr, addr simnet.Addr) int {
 		}
 	}
 	return -1
+}
+
+// sortedSharers returns the sharer set as a sorted slice. Protocol fan-out
+// must not follow Go's randomized map order: the event sequence (and with
+// it the whole run) has to be identical for a given seed.
+func sortedSharers(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // handleGetS serves a read-share request as the home blade.
@@ -45,11 +55,11 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 			ent.sharers[requester] = true
 			return getSResp{}, ctrlSize
 		}
-		for s := range ent.sharers {
+		for _, s := range sortedSharers(ent.sharers) {
 			if s == requester {
 				continue
 			}
-			raw, err := e.conn.CallTimeout(p, e.peers[s], "coh.fetch", fetchReq{Key: req.Key}, ctrlSize, peerTimeout)
+			raw, err := e.conn.CallRetry(p, e.peers[s], "coh.fetch", fetchReq{Key: req.Key}, ctrlSize, e.retry)
 			if err != nil {
 				// Unreachable (dead) sharer: drop it so GetX invalidations
 				// don't stall on it later.
@@ -78,7 +88,7 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 			ent.sharers = map[int]bool{requester: true}
 			return getSResp{}, ctrlSize
 		}
-		raw, err := e.conn.CallTimeout(p, e.peers[owner], "coh.downgrade", downgradeReq{Key: req.Key}, ctrlSize, peerTimeout)
+		raw, err := e.conn.CallRetry(p, e.peers[owner], "coh.downgrade", downgradeReq{Key: req.Key}, ctrlSize, e.retry)
 		if err == nil {
 			dr := raw.(downgradeResp)
 			if dr.StillDirty {
@@ -118,9 +128,11 @@ func (e *Engine) handleGetX(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 	trace(req.Key, "t=%v home%d GETX from %d state=%d owner=%d sharers=%v", e.k.Now(), e.self, requester, ent.state, ent.owner, ent.sharers)
 	switch ent.state {
 	case dirShared:
-		// Invalidate every other sharer in parallel.
+		// Invalidate every other sharer in parallel. A dropped Inv would
+		// leave a stale Shared copy serving old data, so each one retries
+		// under the engine policy before the sharer is written off as dead.
 		grp := sim.NewGroup(e.k)
-		for s := range ent.sharers {
+		for _, s := range sortedSharers(ent.sharers) {
 			if s == requester {
 				continue
 			}
@@ -128,14 +140,14 @@ func (e *Engine) handleGetX(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 			grp.Add(1)
 			e.k.Go("inv", func(q *sim.Proc) {
 				defer grp.Done()
-				e.conn.CallTimeout(q, e.peers[s], "coh.inv", invReq{Key: req.Key}, ctrlSize, peerTimeout)
+				e.conn.CallRetry(q, e.peers[s], "coh.inv", invReq{Key: req.Key}, ctrlSize, e.retry)
 			})
 		}
 		grp.Wait(p)
 
 	case dirModified:
 		if ent.owner != requester {
-			e.conn.CallTimeout(p, e.peers[ent.owner], "coh.invm", invMReq{Key: req.Key}, ctrlSize, peerTimeout)
+			e.conn.CallRetry(p, e.peers[ent.owner], "coh.invm", invMReq{Key: req.Key}, ctrlSize, e.retry)
 		}
 	}
 	ent.state = dirModified

@@ -13,3 +13,13 @@ func trace(key cache.Key, format string, args ...any) {
 		traceFn(format, args...)
 	}
 }
+
+// d0 renders a block's first byte for trace lines, tolerating zero-length
+// payloads (indexing Data[0] directly panics when tracing a zero-length
+// block); -1 means "empty".
+func d0(b []byte) int {
+	if len(b) == 0 {
+		return -1
+	}
+	return int(b[0])
+}

@@ -57,6 +57,14 @@ type Config struct {
 	NoPeerFetch bool
 	// ReadAhead prefetches this many blocks after sequential read runs.
 	ReadAhead int
+	// FabricRetry tunes the timeout/retry/backoff loop every blade wraps
+	// around its protocol and replication RPCs. Zero fields select the
+	// coherence defaults (2 s deadline, 3 attempts, 500 µs backoff).
+	FabricRetry simnet.RetryPolicy
+	// FabricFaults, when non-nil, injects seeded drop/duplicate/delay
+	// faults on every fabric link at construction (see Cluster.SetFaultPlan
+	// for enabling at runtime).
+	FabricFaults *simnet.FaultPlan
 }
 
 // DefaultConfig returns a mid-size lab configuration: 4 blades, RAID-5
@@ -186,6 +194,7 @@ func New(k *sim.Kernel, cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.Blades; i++ {
 		conn := simnet.NewConn(net, peers[i])
 		repl := replication.New(k, conn, peers, i, cfg.ReplicationN)
+		repl.Retry = cfg.FabricRetry
 		engCfg := coherence.Config{
 			Conn:         conn,
 			Peers:        peers,
@@ -198,6 +207,7 @@ func New(k *sim.Kernel, cfg Config) (*Cluster, error) {
 			CPUSlots:     cfg.CPUSlots,
 			NoPeerFetch:  cfg.NoPeerFetch,
 			ReadAhead:    cfg.ReadAhead,
+			Retry:        cfg.FabricRetry,
 		}
 		if cfg.ReplicationN > 1 {
 			engCfg.ReplicateDirty = repl.ReplicateDirty
@@ -208,7 +218,60 @@ func New(k *sim.Kernel, cfg Config) (*Cluster, error) {
 		b.stopFlusher = eng.StartFlusher(cfg.FlushInterval, 64)
 		c.Blades = append(c.Blades, b)
 	}
+	if cfg.FabricFaults != nil {
+		c.SetFaultPlan(*cfg.FabricFaults)
+	}
 	return c, nil
+}
+
+// SetFaultPlan injects plan on every fabric link (a zero plan disables
+// injection) — the administrative knob behind availability drills: the
+// cluster keeps serving, absorbing the faults in its retry layer.
+func (c *Cluster) SetFaultPlan(plan simnet.FaultPlan) {
+	c.Net.SetFaultsAll(plan)
+}
+
+// BladeFabricStats is one blade's fault-handling counters.
+type BladeFabricStats struct {
+	Blade int
+	// RPC counts this blade's client-side calls, timeouts, retries and
+	// gave-up calls (coherence protocol + replication pushes combined).
+	RPC simnet.RPCStats
+	// DegradedOps counts operations the blade abandoned in degraded mode.
+	DegradedOps int64
+	// WritebackErrors counts failed destages of dirty blocks.
+	WritebackErrors int64
+}
+
+// FabricStats reports each blade's fault-handling counters (dead blades
+// included — their counters simply stop moving).
+func (c *Cluster) FabricStats() []BladeFabricStats {
+	out := make([]BladeFabricStats, len(c.Blades))
+	for i, b := range c.Blades {
+		st := b.Engine.Stats()
+		out[i] = BladeFabricStats{
+			Blade:           b.ID,
+			RPC:             b.Engine.RPCStats(),
+			DegradedOps:     st.DegradedOps,
+			WritebackErrors: st.WritebackErrors,
+		}
+	}
+	return out
+}
+
+// FabricTotals sums FabricStats across blades.
+func (c *Cluster) FabricTotals() BladeFabricStats {
+	var tot BladeFabricStats
+	tot.Blade = -1
+	for _, s := range c.FabricStats() {
+		tot.RPC.Calls += s.RPC.Calls
+		tot.RPC.Timeouts += s.RPC.Timeouts
+		tot.RPC.Retries += s.RPC.Retries
+		tot.RPC.GaveUp += s.RPC.GaveUp
+		tot.DegradedOps += s.DegradedOps
+		tot.WritebackErrors += s.WritebackErrors
+	}
+	return tot
 }
 
 // Stop halts background processes so the simulation's event queue drains.

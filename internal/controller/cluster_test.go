@@ -8,6 +8,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/raid"
 	"repro/internal/sim"
+	"repro/internal/simnet"
 )
 
 func smallConfig() Config {
@@ -438,4 +439,55 @@ func TestDistributedScrub(t *testing.T) {
 			t.Errorf("second scrub: bad=%d err=%v", again, err)
 		}
 	})
+}
+
+func TestFaultPlanCountersSurface(t *testing.T) {
+	c, k := newTestCluster(t, 1, func(cfg *Config) {
+		cfg.FabricRetry = simnet.RetryPolicy{
+			Timeout:    20 * sim.Millisecond,
+			Attempts:   6,
+			Backoff:    sim.Millisecond,
+			MaxBackoff: 4 * sim.Millisecond,
+			Jitter:     sim.Millisecond,
+		}
+		cfg.FabricFaults = &simnet.FaultPlan{DropProb: 0.05, MaxExtraDelay: sim.Millisecond}
+	})
+	defer c.Stop()
+	c.Pool.CreateDMSD("v", 1<<16)
+	if !c.Net.FaultsActive() {
+		t.Fatal("FabricFaults config did not activate fault injection")
+	}
+	blk := make([]byte, c.BlockSize())
+	run(k, func(p *sim.Proc) {
+		for i := 0; i < 128; i++ {
+			if err := c.Write(p, c.Blade(i%len(c.Blades)), "v", int64(i), blk, 0); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 128; i++ {
+			if _, err := c.Read(p, c.PickBlade(), "v", int64(i), 1, 0); err != nil {
+				t.Errorf("read %d: %v", i, err)
+			}
+		}
+	})
+	if c.Net.Faults.Dropped == 0 {
+		t.Fatal("no drops injected at 5%; test is vacuous")
+	}
+	tot := c.FabricTotals()
+	if tot.RPC.Retries == 0 {
+		t.Fatalf("drops injected but FabricTotals records no retries: %+v", tot)
+	}
+	// Per-blade stats must sum to the totals.
+	var retries int64
+	for _, bs := range c.FabricStats() {
+		retries += bs.RPC.Retries
+	}
+	if retries != tot.RPC.Retries {
+		t.Fatalf("per-blade retries %d != total %d", retries, tot.RPC.Retries)
+	}
+	// Disabling the plan stops injection.
+	c.SetFaultPlan(simnet.FaultPlan{})
+	if c.Net.FaultsActive() {
+		t.Fatal("zero plan left fault injection active")
+	}
 }

@@ -57,6 +57,12 @@ type Options struct {
 	// FSVirtExtents sizes each class's backing DMSD (default 1<<20
 	// extents — far larger than physical, per §3).
 	FSVirtExtents int64
+	// FabricRetry tunes the blade fabric's timeout/retry/backoff loop
+	// (zero fields = coherence defaults).
+	FabricRetry simnet.RetryPolicy
+	// FabricFaults, when non-nil, injects seeded drop/duplicate/delay
+	// faults on every fabric link from construction.
+	FabricFaults *simnet.FaultPlan
 }
 
 func (o *Options) fillDefaults() {
@@ -117,6 +123,8 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 	cfg.DisksPerGroup = opts.DisksPerGroup
 	cfg.RAIDLevel = opts.RAIDLevel
 	cfg.DiskSpec = opts.DiskSpec
+	cfg.FabricRetry = opts.FabricRetry
+	cfg.FabricFaults = opts.FabricFaults
 	cluster, err := controller.New(k, cfg)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/pfs"
@@ -63,9 +64,16 @@ func E6(seed int64) *metrics.Table {
 					}
 				}
 				b := c.PickBlade()
-				for lba, val := range want {
+				// Read back in LBA order, not map order: the readback I/O
+				// sequence must be identical across runs with the same seed.
+				lbas := make([]int64, 0, len(want))
+				for lba := range want {
+					lbas = append(lbas, lba)
+				}
+				sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+				for _, lba := range lbas {
 					got, err := c.Read(p, b, "v", lba, 1, 0)
-					if err != nil || got[0] != val {
+					if err != nil || got[0] != want[lba] {
 						missing++
 					}
 				}

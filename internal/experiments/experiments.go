@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction of every quantitative
-// claim in the paper, one function per experiment (E1–E10 in DESIGN.md).
+// claim in the paper, one function per experiment (E1–E11 in DESIGN.md).
 // Each function builds its own simulated system(s), runs the workload, and
 // returns the result table the benchmark harness prints; bench_test.go and
 // cmd/benchrunner both call into here.
@@ -151,6 +151,7 @@ func All(seed int64) []*metrics.Table {
 		E8(seed),
 		E9(seed),
 		E10(seed),
+		E11(seed),
 	}
 }
 

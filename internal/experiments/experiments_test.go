@@ -19,6 +19,7 @@ func parseF(t *testing.T, s string) float64 {
 }
 
 func TestE1Shape(t *testing.T) {
+	skipIfShort(t)
 	tab := E1(1)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -43,6 +44,7 @@ func TestE1Shape(t *testing.T) {
 }
 
 func TestE2ScalesAndBeatsBaseline(t *testing.T) {
+	skipIfShort(t)
 	tab := E2(1)
 	if len(tab.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -65,6 +67,7 @@ func TestE2ScalesAndBeatsBaseline(t *testing.T) {
 }
 
 func TestE3HotSpotContrast(t *testing.T) {
+	skipIfShort(t)
 	tab := E3(1)
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -85,6 +88,7 @@ func TestE3HotSpotContrast(t *testing.T) {
 }
 
 func TestE4RebuildScales(t *testing.T) {
+	skipIfShort(t)
 	tab := E4(1)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -97,6 +101,7 @@ func TestE4RebuildScales(t *testing.T) {
 }
 
 func TestE5ThinBeatsThick(t *testing.T) {
+	skipIfShort(t)
 	tab := E5(1)
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -109,6 +114,7 @@ func TestE5ThinBeatsThick(t *testing.T) {
 }
 
 func TestE6ReplicationSurvivability(t *testing.T) {
+	skipIfShort(t)
 	tab := E6(1)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -127,6 +133,7 @@ func TestE6ReplicationSurvivability(t *testing.T) {
 }
 
 func TestE7FirstTouchThenLocal(t *testing.T) {
+	skipIfShort(t)
 	tab := E7(1)
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -143,6 +150,7 @@ func TestE7FirstTouchThenLocal(t *testing.T) {
 }
 
 func TestE8SyncTracksDistanceAsyncDoesNot(t *testing.T) {
+	skipIfShort(t)
 	tab := E8(1)
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -169,6 +177,7 @@ func TestE8SyncTracksDistanceAsyncDoesNot(t *testing.T) {
 }
 
 func TestE9EncryptionParallelism(t *testing.T) {
+	skipIfShort(t)
 	tab := E9(1)
 	enc1 := parseF(t, tab.Rows[0][2])
 	enc8 := parseF(t, tab.Rows[3][2])
@@ -181,6 +190,7 @@ func TestE9EncryptionParallelism(t *testing.T) {
 }
 
 func TestE10Availability(t *testing.T) {
+	skipIfShort(t)
 	tab := E10(1)
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tab.Rows))
@@ -193,5 +203,56 @@ func TestE10Availability(t *testing.T) {
 	// Live blades: 8 before, 6 after.
 	if tab.Rows[0][4] != "8" || tab.Rows[2][4] != "6" {
 		t.Fatalf("live blade counts wrong\n%s", tab)
+	}
+}
+
+// skipIfShort skips experiment regeneration in -short mode: each test
+// re-runs a full simulated cluster, which the race-enabled tier of the
+// verify recipe (`go test -race -short ./...`) cannot afford.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment regeneration skipped in -short mode")
+	}
+}
+
+func TestE11LossyFabricDeterministic(t *testing.T) {
+	skipIfShort(t)
+	tab := E11(1)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	before := parseF(t, tab.Rows[0][1])
+	after := parseF(t, tab.Rows[2][1])
+	if after < before*0.5 {
+		t.Fatalf("post-recovery throughput %v ≪ pre-failure %v\n%s", after, before, tab)
+	}
+	if tab.Rows[0][4] != "8" || tab.Rows[2][4] != "6" {
+		t.Fatalf("live blade counts wrong\n%s", tab)
+	}
+	// Outside the failure window the retry layer must absorb the injected
+	// faults completely: bounded degraded errors belong to the kill, not
+	// to steady-state loss.
+	if tab.Rows[0][3] != "0" || tab.Rows[2][3] != "0" {
+		t.Fatalf("steady-state client errors under faults\n%s", tab)
+	}
+	var notes string
+	for _, n := range tab.Notes {
+		notes += n + "\n"
+	}
+	if !strings.Contains(notes, "lost after failures: 0") {
+		t.Fatalf("acknowledged writes were lost\n%s", tab)
+	}
+	// Faults must actually have been injected, or the experiment is
+	// vacuous.
+	if strings.Contains(notes, "injected faults: 0 dropped") {
+		t.Fatalf("no faults injected\n%s", tab)
+	}
+
+	// Determinism: the fault plan draws from the seeded kernel RNG, so a
+	// second run with the same seed must be byte-identical — drops,
+	// duplicates, retries, sparkline and all.
+	if again := E11(1); again.String() != tab.String() {
+		t.Fatalf("E11 not deterministic across runs with the same seed:\n--- run 1\n%s\n--- run 2\n%s", tab, again)
 	}
 }

@@ -8,6 +8,7 @@ package replication
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/sim"
@@ -54,6 +55,10 @@ type Manager struct {
 	// dirty blocks, so OnClean drops from the right buddies even when a
 	// per-file factor differs from the default.
 	placed map[cache.Key][]int
+	// Retry bounds each replica push (per-attempt deadline, attempt
+	// budget, jittered backoff); the zero value falls back to a single
+	// 2 s-deadline attempt per buddy, the pre-retry behaviour.
+	Retry simnet.RetryPolicy
 	// Stats
 	Puts, Drops, Recovered int64
 }
@@ -130,6 +135,15 @@ func (m *Manager) ReplicateDirty(p *sim.Proc, key cache.Key, data []byte, versio
 	if len(buddies) == 0 {
 		return nil
 	}
+	pol := m.Retry
+	if pol.Timeout <= 0 {
+		pol.Timeout = 2 * sim.Second
+	}
+	if pol.Attempts < 1 {
+		// Match the coherence layer's default: a single dropped packet
+		// should not fail an acknowledged write.
+		pol.Attempts = 3
+	}
 	grp := sim.NewGroup(m.k)
 	var firstErr error
 	for _, b := range buddies {
@@ -137,9 +151,9 @@ func (m *Manager) ReplicateDirty(p *sim.Proc, key cache.Key, data []byte, versio
 		grp.Add(1)
 		m.k.Go("repl.put", func(q *sim.Proc) {
 			defer grp.Done()
-			_, err := m.conn.CallTimeout(q, m.peers[b], "repl.put",
+			_, err := m.conn.CallRetry(q, m.peers[b], "repl.put",
 				putReq{Key: key, Owner: m.self, Version: version, Data: data},
-				ctrlSize+len(data), 2*sim.Second)
+				ctrlSize+len(data), pol)
 			if err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("replication: put to blade %d: %w", b, err)
 			}
@@ -213,9 +227,21 @@ func (m *Manager) HeldBlocks() int {
 // holders died).
 func (m *Manager) RecoverFor(p *sim.Proc, dead int, write func(p *sim.Proc, key cache.Key, data []byte) error) (int, error) {
 	byOwner := m.held[dead]
+	// Destage in key order, not map order: recovery I/O timing must be
+	// identical across runs with the same seed.
+	keys := make([]cache.Key, 0, len(byOwner))
+	for key := range byOwner {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Vol != keys[j].Vol {
+			return keys[i].Vol < keys[j].Vol
+		}
+		return keys[i].LBA < keys[j].LBA
+	})
 	n := 0
-	for key, r := range byOwner {
-		if err := write(p, key, r.Data); err != nil {
+	for _, key := range keys {
+		if err := write(p, key, byOwner[key].Data); err != nil {
 			return n, err
 		}
 		delete(byOwner, key)

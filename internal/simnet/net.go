@@ -44,10 +44,41 @@ func WAN(oneWay sim.Duration, bps int64) LinkSpec {
 	return LinkSpec{BandwidthBps: bps, Latency: oneWay}
 }
 
+// FaultPlan injects partial-failure behaviour into a link: each message
+// crossing a faulted hop may be dropped, duplicated, or delayed, with the
+// decisions drawn from the kernel's seeded RNG so a faulted run is exactly
+// reproducible. The zero FaultPlan injects nothing.
+type FaultPlan struct {
+	// DropProb is the probability a message is lost in transit (the link
+	// still carries it; the receiver simply never sees it).
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// DelayProb is the probability a message suffers extra delay, drawn
+	// uniformly from [0, MaxExtraDelay].
+	DelayProb float64
+	// MaxExtraDelay bounds the injected delay (also used to stagger the
+	// second copy of a duplicated message).
+	MaxExtraDelay sim.Duration
+}
+
+// Active reports whether the plan injects any fault at all.
+func (fp FaultPlan) Active() bool {
+	return fp.DropProb > 0 || fp.DupProb > 0 || fp.DelayProb > 0
+}
+
+// FaultStats counts injected fault events across the network.
+type FaultStats struct {
+	Dropped    int64 // messages lost in transit
+	Duplicated int64 // messages delivered twice
+	Delayed    int64 // messages given extra delay
+}
+
 type link struct {
 	spec      LinkSpec
 	busyUntil sim.Time
 	bytes     int64
+	faults    FaultPlan
 }
 
 // txTime returns the serialization delay for size bytes, rounded up to the
@@ -78,6 +109,11 @@ type Network struct {
 	routes map[Addr]map[Addr]Addr
 	// Dropped counts messages discarded because an endpoint was down.
 	Dropped int64
+	// Faults counts injected fault events (see FaultPlan).
+	Faults FaultStats
+	// faultsActive caches whether any link carries a fault plan, so the
+	// fault-free fast path costs nothing.
+	faultsActive bool
 }
 
 // New returns an empty network on k.
@@ -116,6 +152,39 @@ func (n *Network) Connect(a, b Addr, spec LinkSpec) {
 		n.links[pair] = &link{spec: spec}
 	}
 	n.routes = nil
+}
+
+// SetFaults installs plan on the duplex link between a and b (both
+// directions). A zero plan clears injection on that link.
+func (n *Network) SetFaults(a, b Addr, plan FaultPlan) {
+	for _, pair := range [][2]Addr{{a, b}, {b, a}} {
+		if l, ok := n.links[pair]; ok {
+			l.faults = plan
+		}
+	}
+	n.refreshFaultsActive()
+}
+
+// SetFaultsAll installs plan on every existing link. A zero plan disables
+// all fault injection.
+func (n *Network) SetFaultsAll(plan FaultPlan) {
+	for _, l := range n.links {
+		l.faults = plan
+	}
+	n.refreshFaultsActive()
+}
+
+// FaultsActive reports whether any link currently injects faults.
+func (n *Network) FaultsActive() bool { return n.faultsActive }
+
+func (n *Network) refreshFaultsActive() {
+	n.faultsActive = false
+	for _, l := range n.links {
+		if l.faults.Active() {
+			n.faultsActive = true
+			return
+		}
+	}
 }
 
 // SetDown marks addr unreachable (true) or reachable (false). Messages
@@ -212,6 +281,7 @@ func (n *Network) Send(msg Message) (arrival sim.Time, ok bool) {
 	}
 	t := n.k.Now()
 	cur := msg.From
+	duplicate := false
 	for _, h := range hops {
 		l := n.links[[2]Addr{cur, h}]
 		depart := t
@@ -223,7 +293,45 @@ func (n *Network) Send(msg Message) (arrival sim.Time, ok bool) {
 		l.bytes += int64(msg.Size)
 		t = done.Add(l.spec.Latency)
 		cur = h
+		if fp := l.faults; fp.Active() {
+			rng := n.k.Rand()
+			if fp.DropProb > 0 && rng.Float64() < fp.DropProb {
+				// Lost in transit: the link carried it, the sender is
+				// none the wiser, and the receiver never sees it.
+				n.Faults.Dropped++
+				return t, true
+			}
+			if fp.DelayProb > 0 && rng.Float64() < fp.DelayProb {
+				n.Faults.Delayed++
+				t = t.Add(n.extraDelay(fp))
+			}
+			if fp.DupProb > 0 && rng.Float64() < fp.DupProb {
+				duplicate = true
+			}
+		}
 	}
+	n.scheduleDelivery(msg, t)
+	if duplicate {
+		n.Faults.Duplicated++
+		// The second copy trails the first by a jittered gap.
+		var fp FaultPlan
+		if len(hops) > 0 {
+			fp = n.links[[2]Addr{msg.From, hops[0]}].faults
+		}
+		n.scheduleDelivery(msg, t.Add(n.extraDelay(fp)))
+	}
+	return t, true
+}
+
+// extraDelay draws a uniform delay in [0, MaxExtraDelay] from the kernel RNG.
+func (n *Network) extraDelay(fp FaultPlan) sim.Duration {
+	if fp.MaxExtraDelay <= 0 {
+		return 0
+	}
+	return sim.Duration(n.k.Rand().Int63n(int64(fp.MaxExtraDelay) + 1))
+}
+
+func (n *Network) scheduleDelivery(msg Message, t sim.Time) {
 	dst := n.Node(msg.To)
 	n.k.At(t, func() {
 		if n.down[msg.To] || n.down[msg.From] {
@@ -232,7 +340,6 @@ func (n *Network) Send(msg Message) (arrival sim.Time, ok bool) {
 		}
 		dst.deliver(msg)
 	})
-	return t, true
 }
 
 // Endpoint is a node's attachment point: incoming messages go either to a

@@ -15,6 +15,32 @@ var ErrTimeout = errors.New("simnet: rpc timeout")
 // send time.
 var ErrUnreachable = errors.New("simnet: peer unreachable")
 
+// RetryPolicy bounds CallRetry: per-attempt deadline, attempt budget, and
+// jittered exponential backoff between attempts. The zero value means one
+// attempt with no deadline (equivalent to plain Call).
+type RetryPolicy struct {
+	// Timeout is the per-attempt deadline (zero = wait forever).
+	Timeout sim.Duration
+	// Attempts is the total number of tries (values < 1 mean 1).
+	Attempts int
+	// Backoff is the pause before the second attempt; it doubles each
+	// further attempt.
+	Backoff sim.Duration
+	// MaxBackoff caps the doubling (zero = uncapped).
+	MaxBackoff sim.Duration
+	// Jitter adds a uniform random extra in [0, Jitter) to each backoff,
+	// de-synchronizing competing retriers.
+	Jitter sim.Duration
+}
+
+// RPCStats counts a connection's client-side fault handling.
+type RPCStats struct {
+	Calls    int64 // attempts issued (retries included)
+	Timeouts int64 // attempts that hit their deadline
+	Retries  int64 // re-attempts after a timeout
+	GaveUp   int64 // calls abandoned with the retry budget exhausted
+}
+
 // Handler serves one RPC method. It runs in its own simulation process, so
 // it may block on disk and network operations. It returns the result payload
 // and the wire size of the reply.
@@ -43,6 +69,15 @@ type Conn struct {
 	DefaultTimeout sim.Duration
 	// served counts requests handled, for load-balance accounting.
 	served int64
+	stats  RPCStats
+	// seen suppresses network-duplicated requests (tracked only while the
+	// fabric injects faults, so the fault-free path stays allocation-free).
+	seen map[reqKey]bool
+}
+
+type reqKey struct {
+	from Addr
+	id   uint64
 }
 
 // NewConn attaches an RPC connection to addr on net.
@@ -65,6 +100,9 @@ func (c *Conn) Network() *Network { return c.ep.Network() }
 // Served reports how many requests this connection has handled.
 func (c *Conn) Served() int64 { return c.served }
 
+// Stats returns a copy of the connection's client-side RPC counters.
+func (c *Conn) Stats() RPCStats { return c.stats }
+
 // Register installs a handler for method. Registering a method twice
 // replaces the earlier handler.
 func (c *Conn) Register(method string, h Handler) { c.handlers[method] = h }
@@ -76,6 +114,19 @@ func (c *Conn) onMessage(msg Message) {
 		h, ok := c.handlers[m.method]
 		if !ok {
 			panic(fmt.Sprintf("simnet: %s has no handler for %q", c.Addr(), m.method))
+		}
+		// Under fault injection the fabric may deliver a request twice;
+		// execute it once (the lost-reply case is covered by the caller's
+		// retry, which uses a fresh request id).
+		if c.ep.Network().FaultsActive() {
+			if c.seen == nil {
+				c.seen = make(map[reqKey]bool)
+			}
+			rk := reqKey{from: msg.From, id: m.id}
+			if c.seen[rk] {
+				return
+			}
+			c.seen[rk] = true
 		}
 		c.served++
 		k.Go(string(c.Addr())+"/"+m.method, func(p *sim.Proc) {
@@ -104,6 +155,7 @@ func (c *Conn) CallTimeout(p *sim.Proc, dst Addr, method string, args any, argSi
 	k := c.ep.Network().Kernel()
 	c.nextID++
 	id := c.nextID
+	c.stats.Calls++
 	f := sim.NewFuture[any](k)
 	c.pending[id] = f
 	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args}, argSize) {
@@ -122,9 +174,50 @@ func (c *Conn) CallTimeout(p *sim.Proc, dst Addr, method string, args any, argSi
 	}
 	result := f.Wait(p)
 	if timedOut {
+		c.stats.Timeouts++
 		return nil, ErrTimeout
 	}
 	return result, nil
+}
+
+// CallRetry is Call wrapped in a bounded retry loop per pol: every attempt
+// runs under pol.Timeout, timeouts are retried after jittered exponential
+// backoff, and the last error is returned once the attempt budget is spent.
+// Non-timeout errors (an unreachable peer has failed, not merely dropped a
+// message) are returned immediately — retrying them cannot help and only
+// delays the caller's failover logic.
+func (c *Conn) CallRetry(p *sim.Proc, dst Addr, method string, args any, argSize int, pol RetryPolicy) (any, error) {
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	k := c.ep.Network().Kernel()
+	backoff := pol.Backoff
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			d := backoff
+			if pol.MaxBackoff > 0 && d > pol.MaxBackoff {
+				d = pol.MaxBackoff
+			}
+			if pol.Jitter > 0 {
+				d += sim.Duration(k.Rand().Int63n(int64(pol.Jitter)))
+			}
+			p.Sleep(d)
+			backoff *= 2
+			c.stats.Retries++
+		}
+		result, err := c.CallTimeout(p, dst, method, args, argSize, pol.Timeout)
+		if err == nil {
+			return result, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTimeout) {
+			return nil, err
+		}
+	}
+	c.stats.GaveUp++
+	return nil, fmt.Errorf("simnet: %s to %s gave up after %d attempts: %w", method, dst, attempts, lastErr)
 }
 
 // Go starts an asynchronous call, returning a future that yields the reply
