@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench snapshot experiments
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# verify is the tier-1 gate: everything a PR must keep green.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# snapshot writes the per-PR perf record (per-phase p50/p99 + throughput).
+snapshot:
+	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR2.json
+
+# experiments regenerates every table in EXPERIMENTS.md on stdout.
+experiments:
+	$(GO) run ./cmd/benchrunner

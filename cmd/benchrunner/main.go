@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	benchrunner [-seed N] [-only E4] [-list]
+//	benchrunner [-seed N] [-only E4] [-list] [-snapshot FILE]
+//
+// -snapshot runs the canonical traced workload and writes a JSON perf
+// record (per-phase p50/p99 + throughput) instead of the tables, so each
+// PR can commit a comparable BENCH_PRn.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +48,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
 	list := flag.Bool("list", false, "list experiments and exit")
+	snapshot := flag.String("snapshot", "", "write a JSON perf snapshot (per-phase p50/p99 + throughput) to this file and exit")
 	flag.Parse()
+
+	if *snapshot != "" {
+		snap := experiments.PerfSnapshot(*seed)
+		// MarshalIndent sorts map keys, so the file is deterministic and
+		// diffs cleanly across PRs.
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*snapshot, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *snapshot)
+		return
+	}
 
 	if *list {
 		for _, r := range runners {

@@ -8,6 +8,13 @@
 //
 //	yottactl                  # run the default demo scenario
 //	yottactl -script file     # run commands from a file (one per line)
+//	yottactl trace [flags]    # run a traced workload, export the trace
+//
+// The trace subcommand drives a mixed read/write client population with
+// per-operation tracing on and writes a Chrome trace_event file (load in
+// chrome://tracing or https://ui.perfetto.dev) plus optional JSONL:
+//
+//	yottactl trace -seed 7 -blades 8 -out trace.json -jsonl trace.jsonl
 //
 // Commands (one per line; '#' starts a comment):
 //
@@ -31,6 +38,10 @@
 //	clone <src> <dst>               distributed mirror creation
 //	evacuate <device>               migrate all extents off a device
 //	rebalance                       even extent load across devices
+//	trace on|off                    toggle per-op tracing
+//	trace status                    span counts per phase so far
+//	trace export chrome <file>      write Chrome trace_event JSON
+//	trace export jsonl <file>       write one span per line as JSONL
 //	status                          print system status
 package main
 
@@ -38,6 +49,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -51,6 +63,7 @@ import (
 	"repro/internal/security"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/workload"
 )
 
 const defaultScript = `
@@ -77,10 +90,16 @@ status
 `
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
+
 	scriptPath := flag.String("script", "", "command script (default: built-in demo)")
 	flag.Parse()
 
 	// Demo-scale drives (256 MiB each) keep interactive rebuilds quick.
+	// Tracing is attached but off until a script says `trace on`.
 	sys, err := core.NewSystem(core.Options{
 		DiskSpec: disk.Spec{
 			BlockSize:   4096,
@@ -89,10 +108,12 @@ func main() {
 			Rotation:    3 * sim.Millisecond,
 			TransferBps: 400_000_000,
 		},
+		Trace: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sys.Tracer.SetEnabled(false)
 	defer sys.Stop()
 
 	var lines []string
@@ -312,12 +333,131 @@ func execute(p *sim.Proc, sys *core.System, line string) error {
 		}
 		fmt.Printf("  rebuild complete in %v\n", p.Now().Sub(t0))
 		return nil
+	case "trace":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: trace on|off|status | trace export chrome|jsonl <file>")
+		}
+		switch args[0] {
+		case "on":
+			sys.Tracer.SetEnabled(true)
+			fmt.Println("  tracing on")
+			return nil
+		case "off":
+			sys.Tracer.SetEnabled(false)
+			fmt.Println("  tracing off")
+			return nil
+		case "status":
+			fmt.Printf("  %s\n", sys.Tracer.Summary())
+			for _, pc := range sys.Tracer.PhaseCounts() {
+				fmt.Printf("    %s\n", pc)
+			}
+			return nil
+		case "export":
+			if len(args) != 3 {
+				return fmt.Errorf("usage: trace export chrome|jsonl <file>")
+			}
+			f, err := os.Create(args[2])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			switch args[1] {
+			case "chrome":
+				err = sys.Tracer.WriteChrome(f)
+			case "jsonl":
+				err = sys.Tracer.WriteJSONL(f)
+			default:
+				return fmt.Errorf("unknown trace format %q (chrome or jsonl)", args[1])
+			}
+			if err == nil {
+				fmt.Printf("  wrote %s\n", args[2])
+			}
+			return err
+		default:
+			return fmt.Errorf("usage: trace on|off|status | trace export chrome|jsonl <file>")
+		}
 	case "status":
 		printStatus(sys)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// runTrace implements `yottactl trace`: warm an untraced cluster, run a
+// traced measurement window, and export the spans.
+func runTrace(argv []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed (same seed → byte-identical trace)")
+	blades := fs.Int("blades", 4, "controller blades")
+	clients := fs.Int("clients", 8, "closed-loop clients")
+	window := fs.Int64("ms", 500, "traced window, ms of virtual time")
+	out := fs.String("out", "trace.json", "Chrome trace_event output (chrome://tracing, ui.perfetto.dev)")
+	jsonl := fs.String("jsonl", "", "also write one span per line as JSONL")
+	fs.Parse(argv)
+
+	sys, err := core.NewSystem(core.Options{Seed: *seed, Blades: *blades, Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Trace only the measurement window, not prefill/warm-up.
+	sys.Tracer.SetEnabled(false)
+
+	const ws = 4 << 10 // working set, blocks
+	target := &core.VolumeTarget{Cluster: sys.Cluster, Vol: "fs.default"}
+	err = sys.Run(0, func(p *sim.Proc) error {
+		for lba := int64(0); lba < ws; lba += 256 {
+			if err := target.Write(p, lba, 256); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(d sim.Duration) *workload.Runner {
+		r := &workload.Runner{
+			K:       sys.K,
+			Clients: *clients,
+			Target:  target,
+			Pattern: func(int) workload.Pattern {
+				return workload.Uniform{Range: ws, Blocks: 4, WriteFrac: 0.25}
+			},
+			Duration: d,
+		}
+		r.Run()
+		return r
+	}
+	run(sim.Second) // warm caches untraced
+	sys.Tracer.SetEnabled(true)
+	r := run(sim.Duration(*window) * sim.Millisecond)
+	sys.Tracer.SetEnabled(false)
+	sys.Stop()
+
+	write := func(path string, fn func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	write(*out, sys.Tracer.WriteChrome)
+	if *jsonl != "" {
+		write(*jsonl, sys.Tracer.WriteJSONL)
+	}
+
+	fmt.Printf("%d ops, %.1f MB/s, mean %.3f ms, p99 %.3f ms over %d ms traced\n",
+		r.Ops, r.Bytes.MBps(), r.Latency.Mean().Millis(), r.Latency.P99().Millis(), *window)
+	fmt.Printf("%s\n", sys.Tracer.Summary())
+	sys.Tracer.BreakdownTable("per-phase latency").Render(os.Stdout)
 }
 
 func printStatus(sys *core.System) {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	tr "repro/internal/trace" // aliased: this package has a trace() debug helper
 )
 
 // Backing is the stable store beneath the coherent cache — in the full
@@ -147,6 +148,9 @@ type Engine struct {
 	dir      map[cache.Key]*dirEntry
 	invEpoch map[cache.Key]uint64
 
+	// label is "blade<self>", precomputed for span Where fields.
+	label string
+
 	replicate func(p *sim.Proc, key cache.Key, data []byte, version uint64, factor int) error
 	onClean   func(key cache.Key, version uint64)
 
@@ -234,6 +238,7 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 		hdlDelay:    cfg.HandlerDelay,
 		cpu:         sim.NewSemaphore(k, slots),
 		retry:       retry,
+		label:       fmt.Sprintf("blade%d", cfg.Self),
 		dir:         make(map[cache.Key]*dirEntry),
 		invEpoch:    make(map[cache.Key]uint64),
 		replicate:   cfg.ReplicateDirty,
@@ -289,7 +294,9 @@ func (e *Engine) Busy(p *sim.Proc, d sim.Duration) { e.busy(p, d) }
 
 // busy charges CPU for one operation of duration d.
 func (e *Engine) busy(p *sim.Proc, d sim.Duration) {
+	qs := tr.FromProc(p).Child("cpu-queue", tr.Queue, e.label)
 	e.cpu.Acquire(p, 1)
+	qs.End()
 	p.Sleep(d)
 	e.cpu.Release(1)
 }
@@ -298,6 +305,11 @@ func (e *Engine) busy(p *sim.Proc, d sim.Duration) {
 // retry budget maps to ErrDegraded: the operation fails cleanly instead of
 // wedging a process on a fabric that is dropping messages.
 func (e *Engine) call(p *sim.Proc, blade int, method string, args any, size int) (any, error) {
+	var sp *tr.Active
+	if ctx := tr.FromProc(p); ctx.Valid() {
+		sp = ctx.Child(method, tr.Coherence, fmt.Sprintf("blade%d", blade))
+		defer sp.End()
+	}
 	raw, err := e.conn.CallRetry(p, e.peers[blade], method, args, size, e.retry)
 	if err != nil {
 		if errors.Is(err, simnet.ErrTimeout) {
@@ -342,6 +354,11 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 	e.busy(p, e.opDelay)
 	if ent, ok := e.cache.Get(key); ok && ent.State != cache.Invalid {
 		e.stats.LocalHits++
+		if ctx := tr.FromProc(p); ctx.Valid() {
+			// Instant span (Start == End): marks the block as served from
+			// the local cache so breakdowns can count hit vs miss paths.
+			ctx.Child("hit", tr.CacheHit, e.label).End()
+		}
 		trace(key, "t=%v blade%d read HIT state=%v dirty=%v v=%d d0=%d", p.Now(), e.self, ent.State, ent.Dirty, ent.Version, d0(ent.Data))
 		return append([]byte(nil), ent.Data...), nil
 	}

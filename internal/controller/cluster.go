@@ -18,6 +18,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/virt"
 )
 
@@ -65,6 +66,9 @@ type Config struct {
 	// faults on every fabric link at construction (see Cluster.SetFaultPlan
 	// for enabling at runtime).
 	FabricFaults *simnet.FaultPlan
+	// Tracer, when non-nil, opens a root span per client Read/Write; the
+	// context propagates through coherence, replication, fabric and disk.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns a mid-size lab configuration: 4 blades, RAID-5
@@ -325,6 +329,12 @@ func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, 
 		c.Errors++
 		return nil, errors.New("controller: blade unavailable")
 	}
+	var root *trace.Active
+	if c.Cfg.Tracer.Enabled() {
+		root = c.Cfg.Tracer.StartTrace("read", trace.Op, fmt.Sprintf("blade%d", b.ID))
+		root.Detail("%s@%d+%d", vol, lba, count)
+	}
+	pop := root.Push(p)
 	bs := c.BlockSize()
 	buf := make([]byte, count*bs)
 	grp := sim.NewGroup(c.K)
@@ -344,7 +354,9 @@ func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, 
 			copy(buf[i*bs:], d)
 		})
 	}
+	pop()
 	grp.Wait(p)
+	root.End()
 	b.Ops += int64(count)
 	if firstErr != nil {
 		c.Errors++
@@ -370,6 +382,12 @@ func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []by
 		return fmt.Errorf("controller: write of %d bytes not block-aligned", len(data))
 	}
 	count := len(data) / bs
+	var root *trace.Active
+	if c.Cfg.Tracer.Enabled() {
+		root = c.Cfg.Tracer.StartTrace("write", trace.Op, fmt.Sprintf("blade%d", b.ID))
+		root.Detail("%s@%d+%d", vol, lba, count)
+	}
+	pop := root.Push(p)
 	grp := sim.NewGroup(c.K)
 	var firstErr error
 	for i := 0; i < count; i++ {
@@ -383,7 +401,9 @@ func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []by
 			}
 		})
 	}
+	pop()
 	grp.Wait(p)
+	root.End()
 	b.Ops += int64(count)
 	if firstErr != nil {
 		c.Errors++

@@ -20,6 +20,7 @@ import (
 	"repro/internal/security"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Class describes one storage class beyond the default (§4: per-file RAID
@@ -63,6 +64,10 @@ type Options struct {
 	// FabricFaults, when non-nil, injects seeded drop/duplicate/delay
 	// faults on every fabric link from construction.
 	FabricFaults *simnet.FaultPlan
+	// Trace attaches a per-operation tracer (System.Tracer), enabled from
+	// construction. Spans are stamped from virtual time, so traced runs
+	// are deterministic per seed and timing is unaffected.
+	Trace bool
 }
 
 func (o *Options) fillDefaults() {
@@ -102,6 +107,8 @@ type System struct {
 	Auth    *security.Authority
 	Mask    *security.LUNMask
 	Gateway *security.Gateway
+	// Tracer is non-nil when Options.Trace was set.
+	Tracer *trace.Tracer
 }
 
 // NewSystem builds a system on its own kernel.
@@ -125,6 +132,12 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 	cfg.DiskSpec = opts.DiskSpec
 	cfg.FabricRetry = opts.FabricRetry
 	cfg.FabricFaults = opts.FabricFaults
+	var tracer *trace.Tracer
+	if opts.Trace {
+		tracer = trace.NewTracer(k)
+		tracer.SetEnabled(true)
+		cfg.Tracer = tracer
+	}
 	cluster, err := controller.New(k, cfg)
 	if err != nil {
 		return nil, err
@@ -162,7 +175,7 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 		EncryptAtRest:    opts.EncryptAtRest,
 		EncThroughputBps: opts.EncThroughputBps,
 	})
-	return &System{K: k, Cluster: cluster, FS: fs, Auth: auth, Mask: mask, Gateway: gw}, nil
+	return &System{K: k, Cluster: cluster, FS: fs, Auth: auth, Mask: mask, Gateway: gw, Tracer: tracer}, nil
 }
 
 // Stop halts the system's background processes so the simulation drains.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ErrFailed is returned by operations on a failed disk.
@@ -152,13 +153,17 @@ func (d *Disk) release() {
 // Read returns count blocks starting at lba. Unwritten blocks read as
 // zeros. The calling process blocks for queueing plus service time.
 func (d *Disk) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
+	qs := trace.FromProc(p).Child("disk-queue", trace.Queue, d.id)
 	d.acquire(p)
+	qs.End()
 	defer d.release()
 	if err := d.check(lba, count); err != nil {
 		return nil, err
 	}
 	st := d.serviceTime(lba, count)
+	sp := trace.FromProc(p).Child("disk-read", trace.Disk, d.id)
 	p.Sleep(st)
+	sp.End()
 	if d.failed { // failed while waiting
 		return nil, ErrFailed
 	}
@@ -181,13 +186,17 @@ func (d *Disk) Write(p *sim.Proc, lba int64, data []byte) error {
 		return fmt.Errorf("disk %s: write of %d bytes is not block-aligned", d.id, len(data))
 	}
 	count := len(data) / d.spec.BlockSize
+	qs := trace.FromProc(p).Child("disk-queue", trace.Queue, d.id)
 	d.acquire(p)
+	qs.End()
 	defer d.release()
 	if err := d.check(lba, count); err != nil {
 		return err
 	}
 	st := d.serviceTime(lba, count)
+	sp := trace.FromProc(p).Child("disk-write", trace.Disk, d.id)
 	p.Sleep(st)
+	sp.End()
 	if d.failed {
 		return ErrFailed
 	}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -48,6 +49,11 @@ func E11(seed int64) *metrics.Table {
 		DelayProb:     0.05,
 		MaxExtraDelay: 5 * sim.Millisecond,
 	}
+	// Tracer attached from construction but enabled only after the warm
+	// and ack phases: the measured windows get per-phase attribution
+	// without retaining millions of warm-up spans.
+	tracer := trace.NewTracer(k)
+	cfg.Tracer = tracer
 	c, err := controllerNew(k, cfg)
 	if err != nil {
 		panic(err)
@@ -107,6 +113,7 @@ func E11(seed int64) *metrics.Table {
 			c.Errors-before, len(c.Alive()))
 	}
 
+	tracer.SetEnabled(true)
 	measure("before failures", sim.Second)
 
 	killErr := c.Errors
@@ -129,8 +136,11 @@ func E11(seed int64) *metrics.Table {
 	for !recovered {
 		k.RunFor(100 * sim.Millisecond)
 	}
+	tracer.SetEnabled(false)                           // the re-warm is unmeasured: keep it out of the breakdown
 	runWorkload(k, clients, 8*sim.Second, target, pat) // re-warm (unmeasured)
+	tracer.SetEnabled(true)
 	measure("after recovery", sim.Second)
+	tracer.SetEnabled(false)
 
 	// Zero-lost-acknowledged-writes check: read back every acked write
 	// through the survivors, over the still-lossy fabric.
@@ -158,5 +168,7 @@ func E11(seed int64) *metrics.Table {
 	tab.AddNote("retry layer: %d timeouts, %d retries, %d gave-up calls, %d degraded ops",
 		tot.RPC.Timeouts, tot.RPC.Retries, tot.RPC.GaveUp, tot.DegradedOps)
 	tab.AddNote("%s", series.Spark("throughput over time"))
+	tab.AddNote("per-phase latency breakdown (measured windows, lossy fabric; coherence includes nested fabric time):\n%s",
+		tracer.BreakdownTable("").String())
 	return tab
 }

@@ -23,6 +23,8 @@ func E1(seed int64) *metrics.Table {
 	}
 	tab := stripe.Table(counts, results, 2_000_000_000, 10_000_000_000)
 	tab.AddNote("paper §2.3: four blades × 2×2 Gb/s FC take turns driving one 10 Gb/s port")
+	tab.AddNote("per-phase chunk latency at 4 blades (op = farm→port; fabric = FC ingest; queue = egress wait for the shared port):\n%s",
+		tracedE1Stream(seed).BreakdownTable("").String())
 	return tab
 }
 

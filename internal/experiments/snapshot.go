@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PhaseQuantiles summarizes one trace phase for a perf snapshot.
+type PhaseQuantiles struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Snapshot is the machine-readable perf record benchrunner writes per PR
+// (BENCH_PRn.json), so the bench trajectory across PRs stays comparable:
+// canonical traced workload, per-phase latency quantiles, throughput.
+type Snapshot struct {
+	Seed      int64                     `json:"seed"`
+	Blades    int                       `json:"blades"`
+	Clients   int                       `json:"clients"`
+	Ops       int64                     `json:"ops"`
+	MBps      float64                   `json:"mbps"`
+	OpsPerSec float64                   `json:"ops_per_sec"`
+	MeanMs    float64                   `json:"mean_ms"`
+	P99Ms     float64                   `json:"p99_ms"`
+	Phases    map[string]PhaseQuantiles `json:"phases"`
+}
+
+// PerfSnapshot runs the canonical snapshot workload — an 8-blade cluster
+// under a mixed read/write closed loop with tracing on — and returns the
+// per-phase summary. Deterministic per seed.
+func PerfSnapshot(seed int64) Snapshot {
+	const (
+		blades  = 8
+		clients = 32
+		ws      = 4 << 10
+		dur     = 2 * sim.Second
+	)
+	k := sim.NewKernel(seed)
+	cfg := clusterConfig(blades)
+	tracer := trace.NewTracer(k)
+	cfg.Tracer = tracer
+	c, err := controllerNew(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := c.Pool.CreateDMSD("snap", 1<<20); err != nil {
+		panic(err)
+	}
+	target := &clusterTarget{c: c, vol: "snap"}
+	if err := prefillVolume(k, c, "snap", ws); err != nil {
+		panic(err)
+	}
+	pat := func(int) workload.Pattern {
+		return workload.Uniform{Range: ws, Blocks: 4, WriteFrac: 0.25}
+	}
+	// Warm untraced, then measure traced.
+	runWorkload(k, clients, 2*sim.Second, target, pat)
+	tracer.SetEnabled(true)
+	r := runWorkload(k, clients, dur, target, pat)
+	tracer.SetEnabled(false)
+	c.Stop()
+
+	snap := Snapshot{
+		Seed:      seed,
+		Blades:    blades,
+		Clients:   clients,
+		Ops:       r.Ops,
+		MBps:      r.Bytes.MBps(),
+		OpsPerSec: float64(r.Ops) / dur.Seconds(),
+		MeanMs:    r.Latency.Mean().Millis(),
+		P99Ms:     r.Latency.P99().Millis(),
+		Phases:    make(map[string]PhaseQuantiles, len(trace.Phases)),
+	}
+	for _, ph := range trace.Phases {
+		h := tracer.PhaseHistogram(ph)
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		snap.Phases[string(ph)] = PhaseQuantiles{
+			Count:  h.Count(),
+			MeanMs: h.Mean().Millis(),
+			P50Ms:  h.P50().Millis(),
+			P99Ms:  h.P99().Millis(),
+		}
+	}
+	return snap
+}

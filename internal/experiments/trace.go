@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stripe"
+	"repro/internal/trace"
+)
+
+// tracedE1Stream repeats E1's 4-blade point with tracing attached and
+// returns the tracer: one trace per 256 KiB chunk, with fc-ingest and
+// egress child spans. The breakdown shows where a striped stream's time
+// goes (ingest serialization on the 2 Gb/s FC links vs queueing for the
+// shared 10 Gb/s port). Spans ride virtual time, so the same seed yields
+// byte-identical trace exports — asserted by TestE1TraceDeterministic.
+func tracedE1Stream(seed int64) *trace.Tracer {
+	k := sim.NewKernel(seed)
+	tr := trace.NewTracer(k)
+	tr.SetEnabled(true)
+	s, err := stripe.New(k, stripe.Config{Blades: 4, Tracer: tr})
+	if err != nil {
+		panic(err)
+	}
+	var serr error
+	k.Go("traced-stream", func(p *sim.Proc) {
+		_, serr = s.Stream(p, 64<<20)
+	})
+	k.Run()
+	if serr != nil {
+		panic(serr)
+	}
+	return tr
+}

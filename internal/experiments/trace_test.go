@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Two same-seed traced E1 runs must produce byte-identical JSONL trace
+// output — the tracing subsystem's determinism contract at experiment
+// scale (this one stays on in -short mode: a single 4-blade stream is
+// cheap).
+func TestE1TraceDeterministic(t *testing.T) {
+	var out [2]bytes.Buffer
+	for i := range out {
+		tr := tracedE1Stream(3)
+		if err := tr.WriteJSONL(&out[i]); err != nil {
+			t.Fatal(err)
+		}
+		if tr.PhaseHistogram("op").Count() == 0 {
+			t.Fatal("traced stream recorded no op spans")
+		}
+	}
+	if out[0].Len() == 0 {
+		t.Fatal("empty trace output")
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Fatal("same-seed traced E1 runs produced different JSONL")
+	}
+}

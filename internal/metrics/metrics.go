@@ -146,8 +146,15 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 		cum += h.buckets[b]
 		if cum >= target {
 			u := bucketUpper(b)
+			// Clamp to the observed range: bucketUpper of the lowest
+			// occupied bucket can fall below the recorded minimum (the
+			// bucket's upper bound is only within ~7% of its samples),
+			// and a quantile below Min() misleads every consumer.
 			if u > h.max {
 				u = h.max
+			}
+			if u < h.min {
+				u = h.min
 			}
 			return u
 		}

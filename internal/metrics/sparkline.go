@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/sim"
@@ -16,20 +17,38 @@ func Sparkline(values []float64) string {
 	if len(values) == 0 {
 		return ""
 	}
-	min, max := values[0], values[0]
+	// Non-finite inputs must not reach the index arithmetic: NaN poisons
+	// min/max and converts to an out-of-range rune index. They render as
+	// a blank cell instead.
+	first := true
+	var min, max float64
 	for _, v := range values {
-		if v < min {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if first || v < min {
 			min = v
 		}
-		if v > max {
+		if first || v > max {
 			max = v
 		}
+		first = false
 	}
 	var sb strings.Builder
 	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			sb.WriteRune(' ')
+			continue
+		}
 		idx := 0
 		if max > min {
 			idx = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > len(sparkRunes)-1 {
+			idx = len(sparkRunes) - 1
 		}
 		sb.WriteRune(sparkRunes[idx])
 	}
@@ -39,9 +58,10 @@ func Sparkline(values []float64) string {
 // TimeSeries samples a counter-like value into fixed windows so that a
 // throughput-over-time strip can be rendered afterwards.
 type TimeSeries struct {
-	start  sim.Time
-	window sim.Duration
-	vals   []float64
+	start   sim.Time
+	window  sim.Duration
+	vals    []float64
+	dropped int64
 }
 
 // NewTimeSeries begins sampling at start with the given window width.
@@ -49,17 +69,33 @@ func NewTimeSeries(start sim.Time, window sim.Duration) *TimeSeries {
 	return &TimeSeries{start: start, window: window}
 }
 
-// Record adds v at time t to the matching window.
+// maxTimeSeriesWindows bounds how far Record will grow the window slice:
+// one stray far-future timestamp must not allocate gigabytes. 1<<20
+// windows is ~12 days at the 1 s windows experiments use.
+const maxTimeSeriesWindows = 1 << 20
+
+// Record adds v at time t to the matching window. Samples before the
+// series start or beyond maxTimeSeriesWindows windows are dropped (the
+// drop count is available via Dropped).
 func (ts *TimeSeries) Record(t sim.Time, v float64) {
-	if t < ts.start {
+	if t < ts.start || ts.window <= 0 {
 		return
 	}
-	idx := int(t.Sub(ts.start) / ts.window)
+	idx64 := int64(t.Sub(ts.start) / ts.window)
+	if idx64 >= maxTimeSeriesWindows {
+		ts.dropped++
+		return
+	}
+	idx := int(idx64)
 	for len(ts.vals) <= idx {
 		ts.vals = append(ts.vals, 0)
 	}
 	ts.vals[idx] += v
 }
+
+// Dropped reports samples discarded because their window index exceeded
+// the growth cap.
+func (ts *TimeSeries) Dropped() int64 { return ts.dropped }
 
 // Values returns the per-window totals.
 func (ts *TimeSeries) Values() []float64 { return append([]float64(nil), ts.vals...) }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 const ctrlSize = 64
@@ -144,6 +145,13 @@ func (m *Manager) ReplicateDirty(p *sim.Proc, key cache.Key, data []byte, versio
 		// should not fail an acknowledged write.
 		pol.Attempts = 3
 	}
+	var sp *trace.Active
+	if ctx := trace.FromProc(p); ctx.Valid() {
+		sp = ctx.Child("replicate", trace.Repl, fmt.Sprintf("blade%d", m.self))
+	}
+	// The per-buddy push processes must parent under the replicate span,
+	// not the op root, so push its context while spawning.
+	pop := sp.Push(p)
 	grp := sim.NewGroup(m.k)
 	var firstErr error
 	for _, b := range buddies {
@@ -159,7 +167,9 @@ func (m *Manager) ReplicateDirty(p *sim.Proc, key cache.Key, data []byte, versio
 			}
 		})
 	}
+	pop()
 	grp.Wait(p)
+	sp.End()
 	m.Puts++
 	return firstErr
 }

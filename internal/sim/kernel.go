@@ -101,6 +101,10 @@ type Kernel struct {
 	closed bool
 	// stopAt, when nonzero, bounds Run: events after it stay queued.
 	stopAt Time
+	// cur is the process currently executing, nil while the kernel itself
+	// (or a plain callback) runs. Go uses it to inherit trace context into
+	// child processes. All access is ordered by the resume/parked handoff.
+	cur *Proc
 }
 
 type parkSignal struct{}

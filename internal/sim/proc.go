@@ -19,6 +19,10 @@ type Proc struct {
 	// gen increments every time the process unblocks, invalidating wake
 	// events scheduled for an earlier blocking point.
 	gen uint64
+	// tctx is an opaque trace context (internal/trace.Ctx) carried by the
+	// process. Children spawned from a process body inherit it; sim itself
+	// never inspects it, which keeps the package dependency-free.
+	tctx any
 }
 
 type killedPanic struct{ name string }
@@ -29,6 +33,12 @@ func (kp killedPanic) String() string { return "sim: proc " + kp.name + " killed
 // current virtual time, after already-queued events at this time.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan parkSignal)}
+	if k.cur != nil {
+		// A process spawned from within another process inherits its trace
+		// context, so fan-out helpers (RAID stripes, replication pushes)
+		// stay attributed to the client op that spawned them.
+		p.tctx = k.cur.tctx
+	}
 	k.procs[p] = struct{}{}
 	go func() {
 		<-p.resume
@@ -57,8 +67,11 @@ func (k *Kernel) wake(p *Proc) {
 		return
 	}
 	p.blocked = false
+	prev := k.cur
+	k.cur = p
 	p.resume <- parkSignal{}
 	<-k.parked
+	k.cur = prev
 }
 
 // park blocks p until the kernel wakes it again.
@@ -87,6 +100,14 @@ func (p *Proc) wakeEvent() func() {
 
 // Name returns the process name given at spawn.
 func (p *Proc) Name() string { return p.name }
+
+// TraceCtx returns the process's trace context (nil when untraced). The
+// value is opaque to sim; internal/trace owns its concrete type.
+func (p *Proc) TraceCtx() any { return p.tctx }
+
+// SetTraceCtx installs v as the process's trace context. RPC handler
+// processes use it to adopt the caller's context carried over the wire.
+func (p *Proc) SetTraceCtx(v any) { p.tctx = v }
 
 // Kernel returns the kernel this process runs on.
 func (p *Proc) Kernel() *Kernel { return p.k }

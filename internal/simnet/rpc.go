@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ErrTimeout is returned by Call when the reply does not arrive in time —
@@ -50,6 +51,9 @@ type rpcRequest struct {
 	id     uint64
 	method string
 	args   any
+	// tctx carries the caller's trace context across the simulated wire,
+	// so handler-side work joins the caller's trace.
+	tctx trace.Ctx
 }
 
 type rpcReply struct {
@@ -130,6 +134,11 @@ func (c *Conn) onMessage(msg Message) {
 		}
 		c.served++
 		k.Go(string(c.Addr())+"/"+m.method, func(p *sim.Proc) {
+			if m.tctx.Valid() {
+				// Adopt the caller's trace so handler-side spans (disk
+				// service, nested coherence calls) attribute correctly.
+				p.SetTraceCtx(m.tctx)
+			}
 			result, size := h(p, msg.From, m.args)
 			c.ep.Send(msg.From, rpcReply{id: m.id, result: result}, size)
 		})
@@ -156,10 +165,12 @@ func (c *Conn) CallTimeout(p *sim.Proc, dst Addr, method string, args any, argSi
 	c.nextID++
 	id := c.nextID
 	c.stats.Calls++
+	sp := trace.FromProc(p).Child("rpc:"+method, trace.Fabric, string(dst))
 	f := sim.NewFuture[any](k)
 	c.pending[id] = f
-	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args}, argSize) {
+	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args, tctx: sp.Ctx()}, argSize) {
 		delete(c.pending, id)
+		sp.Detail("unreachable").End()
 		return nil, ErrUnreachable
 	}
 	timedOut := false
@@ -175,8 +186,10 @@ func (c *Conn) CallTimeout(p *sim.Proc, dst Addr, method string, args any, argSi
 	result := f.Wait(p)
 	if timedOut {
 		c.stats.Timeouts++
+		sp.Detail("timeout").End()
 		return nil, ErrTimeout
 	}
+	sp.End()
 	return result, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Config describes the Figure-1 topology.
@@ -37,6 +38,10 @@ type Config struct {
 	// EncBps, when nonzero, inserts a per-blade encryption engine of this
 	// rate into the path (§5.1/§8.1). Zero = no encryption stage.
 	EncBps int64
+	// Tracer, when non-nil and enabled, records one trace per chunk:
+	// an op root with fc-ingest (farm→FC link) and egress (FC→port)
+	// child spans, giving E1 a per-phase latency breakdown.
+	Tracer *trace.Tracer
 }
 
 // Result summarizes one streamed transfer.
@@ -118,8 +123,22 @@ func (s *Streamer) Stream(p *sim.Proc, totalBytes int64) (Result, error) {
 	maxReorder := 0
 	var delivered int64
 
+	// Per-chunk span handles, indexed by stripe index. Handlers run as
+	// kernel callbacks in deterministic delivery order, so span start/end
+	// order is reproducible per seed.
+	var roots, ingests, egresses []*trace.Active
+	if s.cfg.Tracer.Enabled() {
+		roots = make([]*trace.Active, nChunks)
+		ingests = make([]*trace.Active, nChunks)
+		egresses = make([]*trace.Active, nChunks)
+	}
+
 	s.net.Node("port").Handle(func(m simnet.Message) {
 		tag := m.Payload.(chunkTag)
+		if roots != nil {
+			egresses[tag.idx].End()
+			roots[tag.idx].End()
+		}
 		if d := tag.idx - arrived; d > maxReorder {
 			maxReorder = d
 		}
@@ -137,6 +156,11 @@ func (s *Streamer) Stream(p *sim.Proc, totalBytes int64) (Result, error) {
 	for _, fc := range s.fcs {
 		fc := fc
 		s.net.Node(fc).Handle(func(m simnet.Message) {
+			if roots != nil {
+				tag := m.Payload.(chunkTag)
+				ingests[tag.idx].End()
+				egresses[tag.idx] = roots[tag.idx].Child("egress", trace.Queue, "port")
+			}
 			s.net.Send(simnet.Message{From: fc, To: "port", Payload: m.Payload, Size: m.Size})
 		})
 	}
@@ -152,6 +176,10 @@ func (s *Streamer) Stream(p *sim.Proc, totalBytes int64) (Result, error) {
 		}
 		rem -= size
 		fc := s.fcs[i%len(s.fcs)]
+		if roots != nil {
+			roots[i] = s.cfg.Tracer.StartTrace("chunk", trace.Op, "farm")
+			ingests[i] = roots[i].Child("fc-ingest", trace.Fabric, string(fc))
+		}
 		if _, ok := s.net.Send(simnet.Message{From: "farm", To: fc, Payload: chunkTag{idx: i}, Size: int(size)}); !ok {
 			return Result{}, fmt.Errorf("stripe: send to %s failed", fc)
 		}

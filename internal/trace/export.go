@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes one JSON object per completed span, in end order.
+// Because span ids, ordering and timestamps all derive from the
+// deterministic kernel, two same-seed runs produce byte-identical output.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace_event "traceEvents" array
+// (chrome://tracing, Perfetto). Times are microseconds of virtual time.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports the span log as a Chrome trace_event JSON document.
+// Each distinct Where value (blade, disk, port) becomes a "thread" row,
+// numbered in first-seen order so the layout is deterministic.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	tids := make(map[string]int)
+	order := []string{}
+	tidOf := func(where string) int {
+		if where == "" {
+			where = "-"
+		}
+		if id, ok := tids[where]; ok {
+			return id
+		}
+		id := len(order) + 1
+		tids[where] = id
+		order = append(order, where)
+		return id
+	}
+	events := make([]chromeEvent, 0, len(t.spans)+8)
+	for _, s := range t.spans {
+		args := map[string]any{"trace": s.Trace, "span": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  string(s.Phase),
+			Ph:   "X",
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Duration()) / 1e3,
+			PID:  1,
+			TID:  tidOf(s.Where),
+		})
+		events[len(events)-1].Args = args
+	}
+	// Name the rows. Metadata events carry no timestamp; viewers sort them
+	// out themselves.
+	meta := make([]chromeEvent, 0, len(order))
+	for _, where := range order {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  tids[where],
+			Args: map[string]any{"name": where},
+		})
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: append(meta, events...)}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Summary returns a one-line description of the tracer state for status
+// output: span counts, drop count, distinct traces.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "tracing: off"
+	}
+	traces := make(map[uint64]struct{}, len(t.spans))
+	for _, s := range t.spans {
+		traces[s.Trace] = struct{}{}
+	}
+	state := "off"
+	if t.enabled {
+		state = "on"
+	}
+	return fmt.Sprintf("tracing: %s — %d traces, %d spans retained (%d started, %d ended, %d dropped)",
+		state, len(traces), len(t.spans), t.started, t.ended, t.dropped)
+}
+
+// PhaseCounts returns "phase=count" pairs for non-empty phases, sorted by
+// canonical phase order (useful in tests and status lines).
+func (t *Tracer) PhaseCounts() []string {
+	if t == nil {
+		return nil
+	}
+	out := []string{}
+	for _, ph := range Phases {
+		if h := t.phases[ph]; h != nil && h.Count() > 0 {
+			out = append(out, fmt.Sprintf("%s=%d", ph, h.Count()))
+		}
+	}
+	return out
+}
