@@ -24,7 +24,7 @@ bench:
 
 # snapshot writes the per-PR perf record (per-phase p50/p99 + throughput).
 snapshot:
-	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR2.json
+	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR3.json
 
 # experiments regenerates every table in EXPERIMENTS.md on stdout.
 experiments:

@@ -9,12 +9,26 @@
 //	yottactl                  # run the default demo scenario
 //	yottactl -script file     # run commands from a file (one per line)
 //	yottactl trace [flags]    # run a traced workload, export the trace
+//	yottactl top [flags]      # live per-blade dashboard over a workload
+//	yottactl telemetry [flags]# run a scraped workload, export telemetry
 //
 // The trace subcommand drives a mixed read/write client population with
 // per-operation tracing on and writes a Chrome trace_event file (load in
 // chrome://tracing or https://ui.perfetto.dev) plus optional JSONL:
 //
 //	yottactl trace -seed 7 -blades 8 -out trace.json -jsonl trace.jsonl
+//
+// The top subcommand drives the same workload with the telemetry scraper
+// on and renders a per-blade table (ops/s, cache hit rate, retries,
+// degraded ops, load sparkline) refreshed every -refresh-ms of virtual
+// time, with watchdog alarms inlined as they fire:
+//
+//	yottactl top -seed 1 -blades 4 -ms 2000 -refresh-ms 250
+//
+// The telemetry subcommand runs the workload headless and exports the
+// artifacts instead: -jsonl (scrape timeline), -events (watchdog events),
+// -prom (final values in Prometheus text format), plus a report and
+// per-blade skew table on stdout. Same seed → byte-identical exports.
 //
 // Commands (one per line; '#' starts a comment):
 //
@@ -42,6 +56,12 @@
 //	trace status                    span counts per phase so far
 //	trace export chrome <file>      write Chrome trace_event JSON
 //	trace export jsonl <file>       write one span per line as JSONL
+//	top                             one dashboard frame (per-blade load)
+//	telemetry status                registry size + scraper coverage
+//	telemetry report                scrape summary + watchdog events
+//	telemetry export prom <file>    current values, Prometheus text format
+//	telemetry export jsonl <file>   scrape timeline as JSONL
+//	telemetry export events <file>  watchdog events as JSONL
 //	status                          print system status
 package main
 
@@ -87,19 +107,32 @@ failblade 2
 status
 revive 2
 status
+top
+telemetry status
 `
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "trace" {
-		runTrace(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			runTrace(os.Args[2:])
+			return
+		case "top":
+			runTop(os.Args[2:])
+			return
+		case "telemetry":
+			runTelemetry(os.Args[2:])
+			return
+		}
 	}
 
 	scriptPath := flag.String("script", "", "command script (default: built-in demo)")
 	flag.Parse()
 
 	// Demo-scale drives (256 MiB each) keep interactive rebuilds quick.
-	// Tracing is attached but off until a script says `trace on`.
+	// Tracing is attached but off until a script says `trace on`; the
+	// telemetry scraper runs throughout so `top` and `telemetry` commands
+	// have a window to show.
 	sys, err := core.NewSystem(core.Options{
 		DiskSpec: disk.Spec{
 			BlockSize:   4096,
@@ -108,7 +141,9 @@ func main() {
 			Rotation:    3 * sim.Millisecond,
 			TransferBps: 400_000_000,
 		},
-		Trace: true,
+		Trace:      true,
+		Telemetry:  100 * sim.Millisecond,
+		SLOReadP99: 50 * sim.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -376,12 +411,111 @@ func execute(p *sim.Proc, sys *core.System, line string) error {
 		default:
 			return fmt.Errorf("usage: trace on|off|status | trace export chrome|jsonl <file>")
 		}
+	case "top":
+		printTopFrame(sys, 0)
+		return nil
+	case "telemetry":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: telemetry status|report | telemetry export prom|jsonl|events <file>")
+		}
+		switch args[0] {
+		case "status":
+			fmt.Printf("  registry: %d series\n", sys.Registry.Len())
+			if sys.Scraper == nil {
+				fmt.Println("  scraper: off")
+				return nil
+			}
+			fmt.Printf("  scraper: %d scrapes every %v covering %v; %d watchdog events\n",
+				sys.Scraper.Scrapes(), sys.Scraper.Interval(), sys.Scraper.Window(), len(sys.Scraper.Events()))
+			return nil
+		case "report":
+			if sys.Scraper == nil {
+				return fmt.Errorf("scraper off (system built without Options.Telemetry)")
+			}
+			fmt.Printf("  %s\n", sys.Scraper.Report())
+			return nil
+		case "export":
+			if len(args) != 3 {
+				return fmt.Errorf("usage: telemetry export prom|jsonl|events <file>")
+			}
+			f, err := os.Create(args[2])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			switch args[1] {
+			case "prom":
+				err = sys.Registry.WriteProm(f)
+			case "jsonl":
+				if sys.Scraper == nil {
+					return fmt.Errorf("scraper off")
+				}
+				err = sys.Scraper.WriteJSONL(f)
+			case "events":
+				if sys.Scraper == nil {
+					return fmt.Errorf("scraper off")
+				}
+				err = sys.Scraper.WriteEventsJSONL(f)
+			default:
+				return fmt.Errorf("unknown telemetry format %q (prom, jsonl or events)", args[1])
+			}
+			if err == nil {
+				fmt.Printf("  wrote %s\n", args[2])
+			}
+			return err
+		default:
+			return fmt.Errorf("usage: telemetry status|report | telemetry export prom|jsonl|events <file>")
+		}
 	case "status":
 		printStatus(sys)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printTopFrame renders one `top` frame — the per-blade dashboard table —
+// from the scraper's retained window, and reports any watchdog events past
+// seenEvents. Returns the new events high-water mark.
+func printTopFrame(sys *core.System, seenEvents int) int {
+	c := sys.Cluster
+	s := sys.Scraper
+	if s == nil || s.Scrapes() == 0 {
+		fmt.Println("  no telemetry window yet (scraper off or nothing scraped)")
+		return seenEvents
+	}
+	last := func(name string) float64 {
+		d := s.DeltaSeries(name)
+		if len(d) == 0 {
+			return 0
+		}
+		return d[len(d)-1]
+	}
+	secs := s.Interval().Seconds()
+	p99, _ := sys.Registry.Value("cluster/op_latency/p99_ms")
+	fmt.Printf("  yotta top — t=%.0fms  ops/s %.0f  p99 %.2f ms  blades %d/%d alive\n",
+		c.K.Now().Seconds()*1e3, last("cluster/ops")/secs, p99, len(c.Alive()), len(c.Blades))
+	fmt.Printf("  %-5s %9s %6s %8s %9s  %s\n", "blade", "ops/s", "hit%", "retries", "degraded", "load")
+	for i := range c.Blades {
+		pre := fmt.Sprintf("blade/%d", i)
+		hits, misses := last(pre+"/cache/hits"), last(pre+"/cache/misses")
+		hitPct := 0.0
+		if hits+misses > 0 {
+			hitPct = 100 * hits / (hits + misses)
+		}
+		load := s.DeltaSeries(pre + "/ops")
+		if len(load) > 30 { // keep the sparkline terminal-width friendly
+			load = load[len(load)-30:]
+		}
+		fmt.Printf("  %-5d %9.0f %6.1f %8.0f %9.0f  %s\n",
+			i, last(pre+"/ops")/secs, hitPct,
+			last(pre+"/rpc/retries"), last(pre+"/coh/degraded_ops"),
+			metrics.Sparkline(load))
+	}
+	for _, ev := range s.Events()[seenEvents:] {
+		fmt.Printf("  ! %s\n", ev)
+	}
+	return len(s.Events())
 }
 
 // runTrace implements `yottactl trace`: warm an untraced cluster, run a
@@ -458,6 +592,125 @@ func runTrace(argv []string) {
 		r.Ops, r.Bytes.MBps(), r.Latency.Mean().Millis(), r.Latency.P99().Millis(), *window)
 	fmt.Printf("%s\n", sys.Tracer.Summary())
 	sys.Tracer.BreakdownTable("per-phase latency").Render(os.Stdout)
+}
+
+// prepSystem builds a system with the telemetry scraper on and prefills
+// the default volume — the shared setup of the top and telemetry
+// subcommands.
+func prepSystem(seed int64, blades int, interval sim.Duration) (*core.System, *core.VolumeTarget, int64) {
+	sys, err := core.NewSystem(core.Options{
+		Seed: seed, Blades: blades,
+		Telemetry:  interval,
+		SLOReadP99: 50 * sim.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const ws = 4 << 10 // working set, blocks
+	target := &core.VolumeTarget{Cluster: sys.Cluster, Vol: "fs.default"}
+	err = sys.Run(0, func(p *sim.Proc) error {
+		for lba := int64(0); lba < ws; lba += 256 {
+			if err := target.Write(p, lba, 256); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys, target, ws
+}
+
+// runTop implements `yottactl top`: a live per-blade dashboard refreshed
+// in virtual time while a closed-loop workload drives the cluster.
+func runTop(argv []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	blades := fs.Int("blades", 4, "controller blades")
+	clients := fs.Int("clients", 8, "closed-loop clients")
+	total := fs.Int64("ms", 2000, "workload length, ms of virtual time")
+	refresh := fs.Int64("refresh-ms", 250, "dashboard refresh, ms of virtual time")
+	fs.Parse(argv)
+	if *refresh <= 0 || *total <= 0 {
+		log.Fatal("ms and refresh-ms must be positive")
+	}
+
+	interval := sim.Duration(*refresh) * sim.Millisecond
+	sys, target, ws := prepSystem(*seed, *blades, interval)
+	r := &workload.Runner{
+		K:       sys.K,
+		Clients: *clients,
+		Target:  target,
+		Pattern: func(int) workload.Pattern {
+			return workload.Uniform{Range: ws, Blocks: 4, WriteFrac: 0.25}
+		},
+		Duration: sim.Duration(*total) * sim.Millisecond,
+	}
+	r.Start()
+	seen := 0
+	for f := int64(0); f < *total / *refresh; f++ {
+		sys.K.RunFor(interval)
+		seen = printTopFrame(sys, seen)
+		fmt.Println()
+	}
+	sys.Stop()
+	fmt.Printf("%s\n", sys.Scraper.Report())
+}
+
+// runTelemetry implements `yottactl telemetry`: the same scraped workload
+// headless, exporting the timeline/events/prom artifacts plus a report.
+func runTelemetry(argv []string) {
+	fs := flag.NewFlagSet("telemetry", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed (same seed → byte-identical exports)")
+	blades := fs.Int("blades", 4, "controller blades")
+	clients := fs.Int("clients", 8, "closed-loop clients")
+	total := fs.Int64("ms", 2000, "workload length, ms of virtual time")
+	intervalMs := fs.Int64("interval-ms", 100, "scrape interval, ms of virtual time")
+	jsonl := fs.String("jsonl", "", "write the scrape timeline as JSONL to this file")
+	events := fs.String("events", "", "write watchdog events as JSONL to this file")
+	prom := fs.String("prom", "", "write final values in Prometheus text format to this file")
+	fs.Parse(argv)
+	if *intervalMs <= 0 || *total <= 0 {
+		log.Fatal("ms and interval-ms must be positive")
+	}
+
+	sys, target, ws := prepSystem(*seed, *blades, sim.Duration(*intervalMs)*sim.Millisecond)
+	r := &workload.Runner{
+		K:       sys.K,
+		Clients: *clients,
+		Target:  target,
+		Pattern: func(int) workload.Pattern {
+			return workload.Uniform{Range: ws, Blocks: 4, WriteFrac: 0.25}
+		},
+		Duration: sim.Duration(*total) * sim.Millisecond,
+	}
+	r.Run()
+	sys.Stop()
+
+	write := func(path string, fn func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	write(*jsonl, sys.Scraper.WriteJSONL)
+	write(*events, sys.Scraper.WriteEventsJSONL)
+	write(*prom, sys.Registry.WriteProm)
+
+	fmt.Printf("%d ops, %.1f MB/s over %d ms\n", r.Ops, r.Bytes.MBps(), *total)
+	fmt.Printf("%s\n", sys.Scraper.Report())
+	sys.Scraper.SkewTable("per-blade load", "blade/*/ops").Render(os.Stdout)
 }
 
 func printStatus(sys *core.System) {

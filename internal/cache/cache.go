@@ -7,6 +7,8 @@ package cache
 import (
 	"container/list"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // Key identifies a cached block: a virtual volume name plus block address.
@@ -96,6 +98,17 @@ func (c *Cache) Len() int { return len(c.entries) }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// RegisterTelemetry publishes the cache's counters and occupancy under s.
+func (c *Cache) RegisterTelemetry(s telemetry.Scope) {
+	s.Int("hits", func() int64 { return c.stats.Hits })
+	s.Int("misses", func() int64 { return c.stats.Misses })
+	s.Int("evictions", func() int64 { return c.stats.Evictions })
+	s.Int("inserts", func() int64 { return c.stats.Inserts })
+	s.Int("replaces", func() int64 { return c.stats.Replaces })
+	s.Int("len", func() int64 { return int64(len(c.entries)) })
+	s.Int("capacity", func() int64 { return int64(c.capacity) })
+}
 
 // Get returns the entry for key and refreshes its recency; ok is false on
 // miss. Hit/miss counters update accordingly.

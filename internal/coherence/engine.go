@@ -27,6 +27,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	tr "repro/internal/trace" // aliased: this package has a trace() debug helper
 )
 
@@ -324,6 +325,29 @@ func (e *Engine) call(p *sim.Proc, blade int, method string, args any, size int)
 // RPCStats returns the fabric fault counters of this blade's connection
 // (timeouts, retries, gave-up calls — shared with the replication manager).
 func (e *Engine) RPCStats() simnet.RPCStats { return e.conn.Stats() }
+
+// RegisterTelemetry publishes the engine's protocol counters, its cache,
+// its fabric RPC endpoint, and its CPU occupancy under s (coh/...,
+// cache/..., rpc/..., cpu_free).
+func (e *Engine) RegisterTelemetry(s telemetry.Scope) {
+	e.cache.RegisterTelemetry(s.Sub("cache"))
+	e.conn.RegisterTelemetry(s.Sub("rpc"))
+	coh := s.Sub("coh")
+	coh.Int("reads", func() int64 { return e.stats.Reads })
+	coh.Int("writes", func() int64 { return e.stats.Writes })
+	coh.Int("local_hits", func() int64 { return e.stats.LocalHits })
+	coh.Int("peer_fetches", func() int64 { return e.stats.PeerFetches })
+	coh.Int("disk_reads", func() int64 { return e.stats.DiskReads })
+	coh.Int("writebacks", func() int64 { return e.stats.Writebacks })
+	coh.Int("invalidations", func() int64 { return e.stats.Invalidations })
+	coh.Int("downgrades", func() int64 { return e.stats.Downgrades })
+	coh.Int("dir_requests", func() int64 { return e.stats.DirRequests })
+	coh.Int("write_retries", func() int64 { return e.stats.WriteRetries })
+	coh.Int("prefetches", func() int64 { return e.stats.Prefetches })
+	coh.Int("degraded_ops", func() int64 { return e.stats.DegradedOps })
+	coh.Int("writeback_errors", func() int64 { return e.stats.WritebackErrors })
+	s.Int("cpu_free", func() int64 { return int64(e.cpu.Available()) })
+}
 
 func (e *Engine) entry(key cache.Key) *dirEntry {
 	ent, ok := e.dir[key]

@@ -14,10 +14,12 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/disk"
+	"repro/internal/metrics"
 	"repro/internal/raid"
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/virt"
 )
@@ -118,6 +120,18 @@ type Cluster struct {
 	// Errors counts client operations that failed (E10 availability).
 	Errors int64
 	rr     int // round-robin cursor for load balancing
+
+	// Reg is the cluster's telemetry registry: every blade, disk and link
+	// registers its counters here at construction under hierarchical names
+	// (blade/3/cache/hits, disk/12/queue_depth, net/link/.../bytes).
+	// Registration is closures only — nothing is sampled until a scraper
+	// or an exporter reads it.
+	Reg *telemetry.Registry
+	// opLatency records every client Read/Write's virtual-time latency
+	// (registered as cluster/op_latency — the SLO watchdog's p99 source).
+	opLatency *metrics.Histogram
+	// fabricBuf is FabricStats's reused result slice.
+	fabricBuf []BladeFabricStats
 }
 
 // poolBacking adapts the cluster's pools to the coherence Backing
@@ -225,7 +239,45 @@ func New(k *sim.Kernel, cfg Config) (*Cluster, error) {
 	if cfg.FabricFaults != nil {
 		c.SetFaultPlan(*cfg.FabricFaults)
 	}
+	c.registerTelemetry()
 	return c, nil
+}
+
+// registerTelemetry builds the cluster's named registry: cluster-level
+// aggregates plus every blade's engine/cache/rpc/replication counters,
+// every disk, and the fabric's per-link byte counts.
+func (c *Cluster) registerTelemetry() {
+	c.Reg = telemetry.NewRegistry()
+	c.opLatency = metrics.NewHistogram()
+	r := c.Reg
+	r.Histogram("cluster/op_latency", c.opLatency)
+	r.Int("cluster/errors", func() int64 { return c.Errors })
+	r.Int("cluster/ops", func() int64 {
+		var tot int64
+		for _, b := range c.Blades {
+			tot += b.Ops
+		}
+		return tot
+	})
+	r.Int("cluster/alive_blades", func() int64 { return int64(len(c.Alive())) })
+	r.Int("cluster/degraded_ops", func() int64 { return c.FabricTotals().DegradedOps })
+	for _, b := range c.Blades {
+		b := b
+		s := r.Sub(fmt.Sprintf("blade/%d", b.ID))
+		s.Int("ops", func() int64 { return b.Ops })
+		s.Int("down", func() int64 {
+			if b.Down {
+				return 1
+			}
+			return 0
+		})
+		b.Engine.RegisterTelemetry(s)
+		b.Repl.RegisterTelemetry(s.Sub("repl"))
+	}
+	for i, d := range c.Farm.Disks {
+		d.RegisterTelemetry(r.Sub(fmt.Sprintf("disk/%d", i)))
+	}
+	c.Net.RegisterTelemetry(r.Sub("net"))
 }
 
 // SetFaultPlan injects plan on every fabric link (a zero plan disables
@@ -247,27 +299,37 @@ type BladeFabricStats struct {
 	WritebackErrors int64
 }
 
-// FabricStats reports each blade's fault-handling counters (dead blades
-// included — their counters simply stop moving).
-func (c *Cluster) FabricStats() []BladeFabricStats {
-	out := make([]BladeFabricStats, len(c.Blades))
-	for i, b := range c.Blades {
-		st := b.Engine.Stats()
-		out[i] = BladeFabricStats{
-			Blade:           b.ID,
-			RPC:             b.Engine.RPCStats(),
-			DegradedOps:     st.DegradedOps,
-			WritebackErrors: st.WritebackErrors,
-		}
+func (b *Blade) fabricStats() BladeFabricStats {
+	st := b.Engine.Stats()
+	return BladeFabricStats{
+		Blade:           b.ID,
+		RPC:             b.Engine.RPCStats(),
+		DegradedOps:     st.DegradedOps,
+		WritebackErrors: st.WritebackErrors,
 	}
-	return out
 }
 
-// FabricTotals sums FabricStats across blades.
+// FabricStats reports each blade's fault-handling counters (dead blades
+// included — their counters simply stop moving), ordered by blade ID. The
+// returned slice is reused across calls to avoid re-allocating it on every
+// status poll; copy it if you need to retain a snapshot.
+func (c *Cluster) FabricStats() []BladeFabricStats {
+	if c.fabricBuf == nil {
+		c.fabricBuf = make([]BladeFabricStats, len(c.Blades))
+	}
+	for i, b := range c.Blades {
+		c.fabricBuf[i] = b.fabricStats()
+	}
+	return c.fabricBuf
+}
+
+// FabricTotals sums the per-blade fabric counters. It reads the blades
+// directly rather than materializing the FabricStats slice first.
 func (c *Cluster) FabricTotals() BladeFabricStats {
 	var tot BladeFabricStats
 	tot.Blade = -1
-	for _, s := range c.FabricStats() {
+	for _, b := range c.Blades {
+		s := b.fabricStats()
 		tot.RPC.Calls += s.RPC.Calls
 		tot.RPC.Timeouts += s.RPC.Timeouts
 		tot.RPC.Retries += s.RPC.Retries
@@ -334,6 +396,7 @@ func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, 
 		root = c.Cfg.Tracer.StartTrace("read", trace.Op, fmt.Sprintf("blade%d", b.ID))
 		root.Detail("%s@%d+%d", vol, lba, count)
 	}
+	t0 := p.Now()
 	pop := root.Push(p)
 	bs := c.BlockSize()
 	buf := make([]byte, count*bs)
@@ -357,6 +420,7 @@ func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, 
 	pop()
 	grp.Wait(p)
 	root.End()
+	c.opLatency.Observe(p.Now().Sub(t0))
 	b.Ops += int64(count)
 	if firstErr != nil {
 		c.Errors++
@@ -387,6 +451,7 @@ func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []by
 		root = c.Cfg.Tracer.StartTrace("write", trace.Op, fmt.Sprintf("blade%d", b.ID))
 		root.Detail("%s@%d+%d", vol, lba, count)
 	}
+	t0 := p.Now()
 	pop := root.Push(p)
 	grp := sim.NewGroup(c.K)
 	var firstErr error
@@ -404,6 +469,7 @@ func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []by
 	pop()
 	grp.Wait(p)
 	root.End()
+	c.opLatency.Observe(p.Now().Sub(t0))
 	b.Ops += int64(count)
 	if firstErr != nil {
 		c.Errors++

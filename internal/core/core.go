@@ -20,6 +20,7 @@ import (
 	"repro/internal/security"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -68,6 +69,16 @@ type Options struct {
 	// construction. Spans are stamped from virtual time, so traced runs
 	// are deterministic per seed and timing is unaffected.
 	Trace bool
+	// Telemetry, when positive, starts the virtual-time metrics scraper
+	// (System.Scraper) at this interval with the default watchdogs armed
+	// (hot-spot over per-blade ops, stall over disk queues). The cluster's
+	// named registry (System.Registry) exists either way; like tracing,
+	// scraping is deterministic per seed and moves no simulated events.
+	Telemetry sim.Duration
+	// SLOReadP99, with Telemetry, arms the SLO watchdog: a scrape window
+	// whose p99 op latency exceeds this emits an slo event, as do client
+	// errors and degraded-mode entry/exit. Zero leaves latency unwatched.
+	SLOReadP99 sim.Duration
 }
 
 func (o *Options) fillDefaults() {
@@ -109,6 +120,13 @@ type System struct {
 	Gateway *security.Gateway
 	// Tracer is non-nil when Options.Trace was set.
 	Tracer *trace.Tracer
+	// Registry is the cluster's named-metric registry (always available).
+	Registry *telemetry.Registry
+	// Scraper is non-nil when Options.Telemetry was set; it is already
+	// started and is stopped by System.Stop.
+	Scraper *telemetry.Scraper
+
+	stopScrape func()
 }
 
 // NewSystem builds a system on its own kernel.
@@ -175,11 +193,32 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 		EncryptAtRest:    opts.EncryptAtRest,
 		EncThroughputBps: opts.EncThroughputBps,
 	})
-	return &System{K: k, Cluster: cluster, FS: fs, Auth: auth, Mask: mask, Gateway: gw, Tracer: tracer}, nil
+	sys := &System{K: k, Cluster: cluster, FS: fs, Auth: auth, Mask: mask, Gateway: gw,
+		Tracer: tracer, Registry: cluster.Reg}
+	if opts.Telemetry > 0 {
+		sys.Scraper = telemetry.NewScraper(k, cluster.Reg, opts.Telemetry)
+		sys.Scraper.Tracer = tracer
+		sys.Scraper.AddWatchdog(&telemetry.HotSpot{Pattern: "blade/*/ops"})
+		sys.Scraper.AddWatchdog(&telemetry.Stall{Queue: "disk/*/queue_depth", Throughput: "cluster/ops"})
+		sys.Scraper.AddWatchdog(&telemetry.SLO{
+			Hist:     "cluster/op_latency",
+			P99Max:   opts.SLOReadP99,
+			Errors:   "cluster/errors",
+			Degraded: "cluster/degraded_ops",
+		})
+		sys.stopScrape = sys.Scraper.Start()
+	}
+	return sys, nil
 }
 
 // Stop halts the system's background processes so the simulation drains.
-func (s *System) Stop() { s.Cluster.Stop() }
+func (s *System) Stop() {
+	if s.stopScrape != nil {
+		s.stopScrape()
+		s.stopScrape = nil
+	}
+	s.Cluster.Stop()
+}
 
 // Run executes the body as a simulation process and advances virtual time
 // until it completes (bounded by horizon; 0 = 1 hour of virtual time).

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -93,6 +94,28 @@ func (d *Disk) Spec() Spec { return d.spec }
 
 // Stats returns a copy of the drive's activity counters.
 func (d *Disk) Stats() Stats { return d.stats }
+
+// QueueDepth reports the number of I/Os queued or in service right now —
+// the instantaneous load signal the telemetry stall detector watches.
+func (d *Disk) QueueDepth() int { return d.queued }
+
+// RegisterTelemetry publishes the drive's counters under s (reads, writes,
+// bytes, busy time, live and high-water queue depth).
+func (d *Disk) RegisterTelemetry(s telemetry.Scope) {
+	s.Int("reads", func() int64 { return d.stats.Reads })
+	s.Int("writes", func() int64 { return d.stats.Writes })
+	s.Int("bytes_read", func() int64 { return d.stats.BytesRead })
+	s.Int("bytes_written", func() int64 { return d.stats.BytesWritten })
+	s.Func("busy_ms", func() float64 { return d.stats.Busy.Millis() })
+	s.Int("queue_depth", func() int64 { return int64(d.queued) })
+	s.Int("queue_max", func() int64 { return int64(d.stats.QueueMax) })
+	s.Int("failed", func() int64 {
+		if d.failed {
+			return 1
+		}
+		return 0
+	})
+}
 
 // Failed reports whether the drive has failed.
 func (d *Disk) Failed() bool { return d.failed }

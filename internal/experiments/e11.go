@@ -4,6 +4,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -101,6 +102,22 @@ func E11(seed int64) *metrics.Table {
 		panic(err)
 	}
 
+	// Telemetry scraper over the measured windows: hot-spot, SLO (windowed
+	// p99 against a 100 ms objective, client-visible errors, degraded-mode
+	// duration) and stall watchdogs, sampling every 100 ms of virtual time.
+	// Watchdog events also land in the trace stream while the tracer is on.
+	scr := telemetry.NewScraper(k, c.Reg, 100*sim.Millisecond)
+	scr.Tracer = tracer
+	scr.AddWatchdog(&telemetry.HotSpot{Pattern: "blade/*/ops"})
+	scr.AddWatchdog(&telemetry.SLO{
+		Hist:     "cluster/op_latency",
+		P99Max:   100 * sim.Millisecond,
+		Errors:   "cluster/errors",
+		Degraded: "cluster/degraded_ops",
+	})
+	scr.AddWatchdog(&telemetry.Stall{Queue: "disk/*/queue_depth", Throughput: "cluster/ops"})
+	stopScrape := scr.Start()
+
 	series := metrics.NewTimeSeries(0, 250*sim.Millisecond)
 	measure := func(name string, dur sim.Duration) {
 		before := c.Errors
@@ -141,6 +158,7 @@ func E11(seed int64) *metrics.Table {
 	tracer.SetEnabled(true)
 	measure("after recovery", sim.Second)
 	tracer.SetEnabled(false)
+	stopScrape()
 
 	// Zero-lost-acknowledged-writes check: read back every acked write
 	// through the survivors, over the still-lossy fabric.
@@ -170,5 +188,8 @@ func E11(seed int64) *metrics.Table {
 	tab.AddNote("%s", series.Spark("throughput over time"))
 	tab.AddNote("per-phase latency breakdown (measured windows, lossy fabric; coherence includes nested fabric time):\n%s",
 		tracer.BreakdownTable("").String())
+	tab.AddNote("per-blade load over the telemetry window (blades 0–1 stop moving after the kill):\n%s",
+		scr.SkewTable("E11 — per-blade ops", "blade/*/ops").String())
+	tab.AddNote("%s", scr.Report().String())
 	return tab
 }

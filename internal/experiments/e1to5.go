@@ -7,6 +7,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stripe"
+	"repro/internal/telemetry"
 	"repro/internal/virt"
 	"repro/internal/workload"
 )
@@ -23,8 +24,11 @@ func E1(seed int64) *metrics.Table {
 	}
 	tab := stripe.Table(counts, results, 2_000_000_000, 10_000_000_000)
 	tab.AddNote("paper §2.3: four blades × 2×2 Gb/s FC take turns driving one 10 Gb/s port")
+	tr, reg := tracedE1Stream(seed)
 	tab.AddNote("per-phase chunk latency at 4 blades (op = farm→port; fabric = FC ingest; queue = egress wait for the shared port):\n%s",
-		tracedE1Stream(seed).BreakdownTable("").String())
+		tr.BreakdownTable("").String())
+	tab.AddNote("ingest-link balance at 4 blades (round-robin striping over 8 FC links):\n%s",
+		telemetry.SkewTable(reg, "E1 — FC ingest-link bytes", "net/link/farm-*/bytes").String())
 	return tab
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/sim"
 	"repro/internal/stripe"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 
 	"repro/internal/core"
@@ -24,6 +25,7 @@ func E6(seed int64) *metrics.Table {
 		blades  = 6
 		nWrites = 64
 	)
+	var replSkew string
 	for _, n := range []int{1, 2, 3, 4} {
 		lost := func(kills int) int {
 			k := sim.NewKernel(seed)
@@ -118,9 +120,14 @@ func E6(seed int64) *metrics.Table {
 			panic("E6 latency run did not finish")
 		}
 
+		if n == 3 {
+			replSkew = telemetry.SkewTable(c.Reg, "E6 — per-blade client ops at N=3", "blade/*/ops").String() +
+				telemetry.SkewTable(c.Reg, "E6 — per-blade replica pushes held at N=3", "blade/*/repl/puts").String()
+		}
 		tab.AddRow(n, fmtDur(hist.Mean()), lost(n-1), lost(n))
 	}
 	tab.AddNote("N-1 failures: zero loss (every dirty block still has a live copy); N failures can lose blocks whose entire copy set died")
+	tab.AddNote("replication fan-out balance (telemetry registry, N=3 latency run):\n%s", replSkew)
 	return tab
 }
 

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPerfSnapshotDeterministic is the golden-file property for the
+// BENCH_PRn.json artifact: same-seed runs must serialize byte-identically,
+// or the bench trajectory across PRs measures noise instead of code.
+func TestPerfSnapshotDeterministic(t *testing.T) {
+	skipIfShort(t)
+	a, err := json.MarshalIndent(PerfSnapshot(1), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(PerfSnapshot(1), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("same-seed snapshots differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestPerfSnapshotShape(t *testing.T) {
+	skipIfShort(t)
+	snap := PerfSnapshot(2)
+	if snap.Ops <= 0 {
+		t.Fatalf("snapshot ran no ops: %+v", snap)
+	}
+	if snap.OpsPerSec <= 0 || snap.MBps <= 0 {
+		t.Fatalf("snapshot rates empty: %+v", snap)
+	}
+	// The traced window must attribute latency to the pipeline's core
+	// phases; their absence means tracing silently broke.
+	for _, ph := range []string{"op", "queue", "coherence", "cache"} {
+		q, ok := snap.Phases[ph]
+		if !ok || q.Count == 0 {
+			t.Fatalf("snapshot missing phase %q: %+v", ph, snap.Phases)
+		}
+	}
+}

@@ -12,7 +12,7 @@ import (
 func TestE1TraceDeterministic(t *testing.T) {
 	var out [2]bytes.Buffer
 	for i := range out {
-		tr := tracedE1Stream(3)
+		tr, _ := tracedE1Stream(3)
 		if err := tr.WriteJSONL(&out[i]); err != nil {
 			t.Fatal(err)
 		}

@@ -29,9 +29,12 @@ func (c *Counter) Add(delta int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n }
 
-// Gauge is a value that can move in both directions, tracking its maximum.
+// Gauge is a value that can move in both directions, tracking high and low
+// watermarks. The zero Gauge is ready to use and starts its watermarks at 0,
+// so Max/Min cover the implicit initial value too; Reset re-arms both
+// watermarks at the current value for per-window peak reporting.
 type Gauge struct {
-	v, max int64
+	v, max, min int64
 }
 
 // Add moves the gauge by delta.
@@ -39,6 +42,9 @@ func (g *Gauge) Add(delta int64) {
 	g.v += delta
 	if g.v > g.max {
 		g.max = g.v
+	}
+	if g.v < g.min {
+		g.min = g.v
 	}
 }
 
@@ -48,13 +54,27 @@ func (g *Gauge) Set(v int64) {
 	if v > g.max {
 		g.max = v
 	}
+	if v < g.min {
+		g.min = v
+	}
 }
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v }
 
-// Max returns the historical maximum.
+// Max returns the maximum observed since construction or the last Reset.
 func (g *Gauge) Max() int64 { return g.max }
+
+// Min returns the minimum observed since construction or the last Reset.
+func (g *Gauge) Min() int64 { return g.min }
+
+// Reset re-arms both watermarks at the current value, opening a new
+// observation window (the telemetry scraper does this after every scrape so
+// Max/Min report per-interval peaks).
+func (g *Gauge) Reset() {
+	g.max = g.v
+	g.min = g.v
+}
 
 // Histogram records sim.Duration samples in logarithmic buckets
 // (~7% relative width), supporting quantile queries without storing
@@ -165,6 +185,77 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 // P50, P99 are convenience quantiles.
 func (h *Histogram) P50() sim.Duration { return h.Quantile(0.50) }
 func (h *Histogram) P99() sim.Duration { return h.Quantile(0.99) }
+
+// HistogramSnapshot is a point-in-time copy of a Histogram's bucket state,
+// taken with Snapshot. Holding one lets a consumer compute windowed
+// statistics (count, mean, quantiles of only the samples observed since the
+// snapshot) from a cumulative histogram — how the telemetry SLO watchdog
+// gets a per-scrape p99 without resetting the shared instrument.
+type HistogramSnapshot struct {
+	buckets map[int]int64
+	count   int64
+	sum     float64
+}
+
+// Snapshot copies the histogram's current bucket state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{buckets: make(map[int]int64, len(h.buckets)), count: h.count, sum: h.sum}
+	for b, n := range h.buckets {
+		s.buckets[b] = n
+	}
+	return s
+}
+
+// CountSince returns the number of samples observed since prev was taken.
+func (h *Histogram) CountSince(prev HistogramSnapshot) int64 { return h.count - prev.count }
+
+// MeanSince returns the mean of the samples observed since prev was taken
+// (0 if none).
+func (h *Histogram) MeanSince(prev HistogramSnapshot) sim.Duration {
+	n := h.count - prev.count
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration((h.sum - prev.sum) / float64(n))
+}
+
+// QuantileSince returns an upper bound on the q-quantile of only the samples
+// observed since prev was taken (0 if none), accurate to the bucket width.
+// The result is clamped to the histogram's lifetime max; the per-window
+// minimum is not tracked, so the low extreme is bucket-resolution only.
+func (h *Histogram) QuantileSince(prev HistogramSnapshot, q float64) sim.Duration {
+	n := h.count - prev.count
+	if n <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	var cum int64
+	for _, b := range keys {
+		cum += h.buckets[b] - prev.buckets[b]
+		if cum >= target {
+			u := bucketUpper(b)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
 
 // Meter measures throughput: bytes (or operations) accumulated over a
 // virtual-time window.

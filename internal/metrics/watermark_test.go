@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGaugeMinWatermark(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-8)
+	g.Add(10)
+	if g.Value() != 7 {
+		t.Fatalf("Value = %d, want 7", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Fatalf("Max = %d, want 7", g.Max())
+	}
+	if g.Min() != -3 {
+		t.Fatalf("Min = %d, want -3", g.Min())
+	}
+}
+
+func TestGaugeZeroValueWatermarks(t *testing.T) {
+	// The zero Gauge has observed the value 0, so both watermarks start
+	// there: a gauge that only ever rises keeps Min = 0.
+	var g Gauge
+	g.Add(3)
+	if g.Min() != 0 {
+		t.Fatalf("Min = %d, want 0", g.Min())
+	}
+	if g.Max() != 3 {
+		t.Fatalf("Max = %d, want 3", g.Max())
+	}
+}
+
+func TestGaugeSetMovesWatermarks(t *testing.T) {
+	var g Gauge
+	g.Set(-4)
+	g.Set(9)
+	if g.Min() != -4 || g.Max() != 9 {
+		t.Fatalf("watermarks = [%d, %d], want [-4, 9]", g.Min(), g.Max())
+	}
+}
+
+func TestGaugeReset(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-8)
+	g.Reset()
+	if g.Value() != -3 {
+		t.Fatalf("Reset changed the value: %d", g.Value())
+	}
+	if g.Max() != -3 || g.Min() != -3 {
+		t.Fatalf("watermarks after Reset = [%d, %d], want [-3, -3]", g.Min(), g.Max())
+	}
+	g.Add(1)
+	if g.Max() != -2 || g.Min() != -3 {
+		t.Fatalf("watermarks after Reset+Add = [%d, %d], want [-3, -2]", g.Min(), g.Max())
+	}
+}
+
+func TestMeterClosedAtStart(t *testing.T) {
+	// A meter created and closed at the same instant must report zero
+	// rates, not Inf/NaN — the empty measurement window a scraper can
+	// produce at startup.
+	start := sim.Time(3 * sim.Second)
+	m := NewMeter(start)
+	m.CloseAt(start)
+	if m.PerSecond() != 0 || m.Gbps() != 0 || m.MBps() != 0 {
+		t.Fatalf("zero-window rates = %v B/s, %v Gb/s, %v MB/s, want all 0",
+			m.PerSecond(), m.Gbps(), m.MBps())
+	}
+}
+
+func TestHistogramSnapshotWindow(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(sim.Millisecond)
+	}
+	snap := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(20 * sim.Millisecond)
+	}
+	if n := h.CountSince(snap); n != 100 {
+		t.Fatalf("CountSince = %d, want 100", n)
+	}
+	// The lifetime p50 straddles both populations; the windowed quantiles
+	// see only the slow second batch.
+	if p50 := h.QuantileSince(snap, 0.50); p50 < 15*sim.Millisecond {
+		t.Fatalf("windowed p50 = %v, want ≈20ms", p50)
+	}
+	if mean := h.MeanSince(snap); mean < 15*sim.Millisecond {
+		t.Fatalf("windowed mean = %v, want ≈20ms", mean)
+	}
+	if lifetime := h.P50(); lifetime > 5*sim.Millisecond {
+		t.Fatalf("lifetime p50 = %v, want ≈1ms (both batches pooled)", lifetime)
+	}
+}
+
+func TestHistogramSnapshotEmptyWindow(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(sim.Millisecond)
+	snap := h.Snapshot()
+	if n := h.CountSince(snap); n != 0 {
+		t.Fatalf("CountSince on empty window = %d, want 0", n)
+	}
+	if q := h.QuantileSince(snap, 0.99); q != 0 {
+		t.Fatalf("QuantileSince on empty window = %v, want 0", q)
+	}
+	if m := h.MeanSince(snap); m != 0 {
+		t.Fatalf("MeanSince on empty window = %v, want 0", m)
+	}
+}
+
+func TestHistogramZeroSnapshotIsLifetime(t *testing.T) {
+	// The zero-value snapshot means "since the beginning": windowed reads
+	// against it must agree with the lifetime accessors.
+	h := NewHistogram()
+	for i := 1; i <= 50; i++ {
+		h.Observe(sim.Duration(i) * sim.Millisecond)
+	}
+	var zero HistogramSnapshot
+	if h.CountSince(zero) != h.Count() {
+		t.Fatalf("CountSince(zero) = %d, want %d", h.CountSince(zero), h.Count())
+	}
+	if h.QuantileSince(zero, 0.99) != h.P99() {
+		t.Fatalf("QuantileSince(zero, .99) = %v, want %v", h.QuantileSince(zero, 0.99), h.P99())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -87,6 +88,16 @@ func (m *Manager) SetAlive(alive []int) {
 
 // Factor returns the replication factor N.
 func (m *Manager) Factor() int { return m.n }
+
+// RegisterTelemetry publishes the manager's counters under s: replica
+// pushes/releases, recoveries replayed, and replicas currently held for
+// peers.
+func (m *Manager) RegisterTelemetry(s telemetry.Scope) {
+	s.Int("puts", func() int64 { return m.Puts })
+	s.Int("drops", func() int64 { return m.Drops })
+	s.Int("recovered", func() int64 { return m.Recovered })
+	s.Int("held_blocks", func() int64 { return int64(m.HeldBlocks()) })
+}
 
 // SetFactor changes N for subsequent writes. The paper allows the level to
 // be "dynamically specified on a file-by-file basis"; the per-write factor

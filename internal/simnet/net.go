@@ -12,8 +12,10 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Addr names a node on the network.
@@ -201,6 +203,39 @@ func (n *Network) LinkBytes(a, b Addr) int64 {
 		return l.bytes
 	}
 	return 0
+}
+
+// Links returns every directed link's (from, to) pair in sorted order —
+// the links live in a map, and deterministic exposition must not depend on
+// map iteration order.
+func (n *Network) Links() [][2]Addr {
+	out := make([][2]Addr, 0, len(n.links))
+	for pair := range n.links {
+		out = append(out, pair)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// RegisterTelemetry publishes the network's counters under s: endpoint
+// drops, injected-fault counts, and bytes carried per directed link
+// (link/<from>-<to>/bytes). Links are enumerated at registration time, so
+// register after the topology is built.
+func (n *Network) RegisterTelemetry(s telemetry.Scope) {
+	s.Int("dropped", func() int64 { return n.Dropped })
+	f := s.Sub("faults")
+	f.Int("dropped", func() int64 { return n.Faults.Dropped })
+	f.Int("duplicated", func() int64 { return n.Faults.Duplicated })
+	f.Int("delayed", func() int64 { return n.Faults.Delayed })
+	for _, pair := range n.Links() {
+		l := n.links[pair]
+		s.Int(fmt.Sprintf("link/%s-%s/bytes", pair[0], pair[1]), func() int64 { return l.bytes })
+	}
 }
 
 // path returns the hop sequence from src to dst (excluding src), or nil if

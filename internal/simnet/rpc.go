@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,16 @@ type RPCStats struct {
 	Timeouts int64 // attempts that hit their deadline
 	Retries  int64 // re-attempts after a timeout
 	GaveUp   int64 // calls abandoned with the retry budget exhausted
+}
+
+// RegisterTelemetry publishes c's client-side RPC counters and the number
+// of requests served as a callee under s.
+func (c *Conn) RegisterTelemetry(s telemetry.Scope) {
+	s.Int("calls", func() int64 { return c.stats.Calls })
+	s.Int("timeouts", func() int64 { return c.stats.Timeouts })
+	s.Int("retries", func() int64 { return c.stats.Retries })
+	s.Int("gave_up", func() int64 { return c.stats.GaveUp })
+	s.Int("served", func() int64 { return c.served })
 }
 
 // Handler serves one RPC method. It runs in its own simulation process, so

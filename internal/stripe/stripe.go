@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	// an op root with fc-ingest (farm→FC link) and egress (FC→port)
 	// child spans, giving E1 a per-phase latency breakdown.
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, registers the topology's counters (notably
+	// net/link/<from>-<to>/bytes for every FC ingest link and the shared
+	// egress port) into the registry at construction, so a streamed
+	// transfer's link balance is observable (E1's skew table).
+	Telemetry *telemetry.Registry
 }
 
 // Result summarizes one streamed transfer.
@@ -103,6 +109,9 @@ func New(k *sim.Kernel, cfg Config) (*Streamer, error) {
 			s.fcs = append(s.fcs, fc)
 		}
 		s.net.Connect(enc, "switch", engineLink)
+	}
+	if cfg.Telemetry != nil {
+		s.net.RegisterTelemetry(cfg.Telemetry.Sub("net"))
 	}
 	return s, nil
 }

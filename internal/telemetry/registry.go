@@ -1,0 +1,265 @@
+// Package telemetry turns the simulator's loose per-package statistics into
+// one first-class observability surface: a hierarchical named registry every
+// instrument publishes into (blade/3/cache/hits, disk/12/queue_depth,
+// net/link/blade0-blade1/bytes), a virtual-time scraper that snapshots the
+// registry into ring-buffered time series, and watchdogs (hot-spot, SLO,
+// stall) that evaluate rules over consecutive scrapes — directly
+// instrumenting the paper's aggregate claims (§2.1 linear scaling, §2.2 no
+// per-blade hot spots, §2.4 services that don't impede foreground I/O).
+//
+// Everything here is a pure read of the simulation: samplers take zero
+// virtual time and draw no randomness, so scraping is deterministic
+// (same-seed runs export byte-identical timelines) and non-perturbing
+// (enabling the scraper moves no simulated events) — the same contract the
+// tracer keeps.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Registry is a hierarchical named-metric registry. Instruments register
+// under '/'-separated paths; names are unique and every read-out order is
+// sorted naturally (blade/10 after blade/9), so any export built from a
+// Registry is deterministic by construction.
+//
+// Samplers must be pure reads of simulation state: no virtual time, no
+// randomness, no mutation.
+type Registry struct {
+	samplers map[string]func() float64
+	hists    map[string]*metrics.Histogram
+	gauges   []*metrics.Gauge
+	names    []string
+	sorted   bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		samplers: make(map[string]func() float64),
+		hists:    make(map[string]*metrics.Histogram),
+	}
+}
+
+// Func registers fn as the sampler for metric name. Registering a duplicate
+// name panics: a collision silently shadowing a metric would corrupt every
+// consumer, and registration happens once at construction time.
+func (r *Registry) Func(name string, fn func() float64) {
+	if name == "" || fn == nil {
+		panic("telemetry: empty metric name or nil sampler")
+	}
+	if _, dup := r.samplers[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.samplers[name] = fn
+	r.names = append(r.names, name)
+	r.sorted = false
+}
+
+// Int registers an int64-valued sampler.
+func (r *Registry) Int(name string, fn func() int64) {
+	r.Func(name, func() float64 { return float64(fn()) })
+}
+
+// Counter registers a metrics.Counter's current value.
+func (r *Registry) Counter(name string, c *metrics.Counter) {
+	r.Int(name, c.Value)
+}
+
+// Gauge registers a metrics.Gauge as three series: the current value plus
+// its high and low watermarks (name, name/max, name/min). The gauge is also
+// remembered for ResetWatermarks, so under a scraper the watermarks report
+// per-interval peaks rather than lifetime extremes.
+func (r *Registry) Gauge(name string, g *metrics.Gauge) {
+	r.Int(name, g.Value)
+	r.Int(name+"/max", g.Max)
+	r.Int(name+"/min", g.Min)
+	r.gauges = append(r.gauges, g)
+}
+
+// Histogram registers a metrics.Histogram as derived series (name/count,
+// name/mean_ms, name/p50_ms, name/p99_ms) and keeps the histogram itself
+// retrievable via HistogramFor, so watchdogs can compute windowed quantiles.
+func (r *Registry) Histogram(name string, h *metrics.Histogram) {
+	if _, dup := r.hists[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate histogram %q", name))
+	}
+	r.hists[name] = h
+	r.Int(name+"/count", h.Count)
+	r.Func(name+"/mean_ms", func() float64 { return h.Mean().Millis() })
+	r.Func(name+"/p50_ms", func() float64 { return h.P50().Millis() })
+	r.Func(name+"/p99_ms", func() float64 { return h.P99().Millis() })
+}
+
+// HistogramFor returns the histogram registered under name, or nil.
+func (r *Registry) HistogramFor(name string) *metrics.Histogram { return r.hists[name] }
+
+// ResetWatermarks re-arms every registered gauge's high/low watermarks at
+// its current value. The scraper calls this after each scrape.
+func (r *Registry) ResetWatermarks() {
+	for _, g := range r.gauges {
+		g.Reset()
+	}
+}
+
+// Len reports the number of registered series.
+func (r *Registry) Len() int { return len(r.names) }
+
+func (r *Registry) sortNames() {
+	if !r.sorted {
+		sort.Slice(r.names, func(i, j int) bool { return naturalLess(r.names[i], r.names[j]) })
+		r.sorted = true
+	}
+}
+
+// Names returns every registered metric name in natural sorted order.
+func (r *Registry) Names() []string {
+	r.sortNames()
+	return append([]string(nil), r.names...)
+}
+
+// Value samples one metric by name.
+func (r *Registry) Value(name string) (float64, bool) {
+	fn, ok := r.samplers[name]
+	if !ok {
+		return 0, false
+	}
+	return fn(), true
+}
+
+// Sample reads every metric once, returning names (natural order) and the
+// values aligned with them.
+func (r *Registry) Sample() (names []string, values []float64) {
+	names = r.Names()
+	values = make([]float64, len(names))
+	for i, n := range names {
+		values[i] = r.samplers[n]()
+	}
+	return names, values
+}
+
+// Match returns the registered names matching pattern, in natural order.
+// Pattern segments are matched literally except "*", which matches exactly
+// one path segment: "blade/*/ops" matches blade/0/ops but not
+// blade/0/cache/hits.
+func (r *Registry) Match(pattern string) []string {
+	r.sortNames()
+	var out []string
+	for _, n := range r.names {
+		if matchPattern(pattern, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func matchPattern(pattern, name string) bool {
+	ps := strings.Split(pattern, "/")
+	ns := strings.Split(name, "/")
+	if len(ps) != len(ns) {
+		return false
+	}
+	for i := range ps {
+		if ps[i] != "*" && ps[i] != ns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// naturalLess orders '/'-separated paths segment-wise, comparing all-digit
+// segments numerically so blade/10 sorts after blade/9.
+func naturalLess(a, b string) bool {
+	as, bs := strings.Split(a, "/"), strings.Split(b, "/")
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		x, y := as[i], bs[i]
+		if x == y {
+			continue
+		}
+		xn, xe := strconv.ParseInt(x, 10, 64)
+		yn, ye := strconv.ParseInt(y, 10, 64)
+		if xe == nil && ye == nil {
+			return xn < yn
+		}
+		return x < y
+	}
+	return len(as) < len(bs)
+}
+
+// WriteProm writes the registry's current values as Prometheus text
+// exposition ('/' becomes '_' in names; one "name value" line per metric,
+// sorted, so the output is byte-stable for a given state).
+func (r *Registry) WriteProm(w io.Writer) error {
+	names, values := r.Sample()
+	for i, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %s\n", promName(n), formatValue(values[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName sanitizes a '/'-separated metric path into a Prometheus-legal
+// metric name.
+func promName(name string) string {
+	out := []byte(name)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// formatValue renders a float64 the way encoding/json does (shortest
+// round-trip form), so Prom and JSONL exports agree byte-for-byte across
+// runs.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Scope is a Registry view under a fixed name prefix, so a package can
+// register its instruments without knowing where it sits in the hierarchy
+// (the cluster hands its blade-3 engine the "blade/3" scope).
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Sub returns a scope rooted at prefix.
+func (r *Registry) Sub(prefix string) Scope { return Scope{r: r, prefix: prefix} }
+
+// Sub narrows the scope by another path component.
+func (s Scope) Sub(prefix string) Scope {
+	return Scope{r: s.r, prefix: s.prefix + "/" + prefix}
+}
+
+// Registry returns the underlying registry.
+func (s Scope) Registry() *Registry { return s.r }
+
+func (s Scope) name(n string) string {
+	if s.prefix == "" {
+		return n
+	}
+	return s.prefix + "/" + n
+}
+
+// Func, Int, Counter, Gauge and Histogram mirror the Registry methods under
+// the scope's prefix.
+func (s Scope) Func(n string, fn func() float64)        { s.r.Func(s.name(n), fn) }
+func (s Scope) Int(n string, fn func() int64)           { s.r.Int(s.name(n), fn) }
+func (s Scope) Counter(n string, c *metrics.Counter)    { s.r.Counter(s.name(n), c) }
+func (s Scope) Gauge(n string, g *metrics.Gauge)        { s.r.Gauge(s.name(n), g) }
+func (s Scope) Histogram(n string, h *metrics.Histogram) { s.r.Histogram(s.name(n), h) }

@@ -45,10 +45,14 @@ const (
 	// CacheHit marks a block served from the local blade cache (an
 	// instant span: Start == End).
 	CacheHit Phase = "cache"
+	// Watchdog marks a telemetry watchdog event (hot-spot, SLO breach,
+	// stall) — an instant span interleaving alarms with the operations
+	// they explain.
+	Watchdog Phase = "watchdog"
 )
 
 // Phases lists every phase in canonical (breakdown-table) order.
-var Phases = []Phase{Op, Queue, Fabric, Coherence, Disk, Repl, CacheHit}
+var Phases = []Phase{Op, Queue, Fabric, Coherence, Disk, Repl, CacheHit, Watchdog}
 
 // Span is one completed timed region. IDs are assigned in start order and
 // spans are recorded in end order, both deterministic under the sim
