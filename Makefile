@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify bench snapshot experiments
+.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke
 
 all: verify
 
@@ -24,8 +25,14 @@ bench:
 
 # snapshot writes the per-PR perf record (per-phase p50/p99 + throughput).
 snapshot:
-	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR3.json
+	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR4.json
 
 # experiments regenerates every table in EXPERIMENTS.md on stdout.
 experiments:
 	$(GO) run ./cmd/benchrunner
+
+# fuzz-smoke runs each native fuzz target briefly (FUZZTIME per target) —
+# a coverage-guided shakeout of the erasure-code math, not a soak.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzGF256$$' -fuzztime $(FUZZTIME) ./internal/raid
+	$(GO) test -run '^$$' -fuzz '^FuzzReconstruct$$' -fuzztime $(FUZZTIME) ./internal/raid

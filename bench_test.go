@@ -73,6 +73,11 @@ func BenchmarkE10Availability(b *testing.B) { runExperiment(b, experiments.E10) 
 // errors bounded and acknowledged writes intact.
 func BenchmarkE11LossyFabric(b *testing.B) { runExperiment(b, experiments.E11) }
 
+// BenchmarkE12Rebalance — §2.2/§6.3: adaptive hot-spot rebalancing under
+// static-path routing; home migrations drain the Zipf skew and recover
+// throughput toward the uniform baseline.
+func BenchmarkE12Rebalance(b *testing.B) { runExperiment(b, experiments.E12) }
+
 // BenchmarkA1Prefetch — ablation: geographic prefetch on/off.
 func BenchmarkA1Prefetch(b *testing.B) { runExperiment(b, experiments.A1Prefetch) }
 

@@ -52,6 +52,9 @@
 //	clone <src> <dst>               distributed mirror creation
 //	evacuate <device>               migrate all extents off a device
 //	rebalance                       even extent load across devices
+//	balance on|off                  toggle the adaptive hot-spot rebalancer
+//	balance status                  rebalancer thresholds + counters
+//	balance report                  counters plus the home-migration log
 //	trace on|off                    toggle per-op tracing
 //	trace status                    span counts per phase so far
 //	trace export chrome <file>      write Chrome trace_event JSON
@@ -109,6 +112,7 @@ revive 2
 status
 top
 telemetry status
+balance status
 `
 
 func main() {
@@ -144,11 +148,15 @@ func main() {
 		Trace:      true,
 		Telemetry:  100 * sim.Millisecond,
 		SLOReadP99: 50 * sim.Millisecond,
+		Balance:    true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	sys.Tracer.SetEnabled(false)
+	// The rebalancer is attached but parked until a script says
+	// `balance on` — admin scripts opt in to home migrations.
+	sys.Balancer.SetEnabled(false)
 	defer sys.Stop()
 
 	var lines []string
@@ -410,6 +418,36 @@ func execute(p *sim.Proc, sys *core.System, line string) error {
 			return err
 		default:
 			return fmt.Errorf("usage: trace on|off|status | trace export chrome|jsonl <file>")
+		}
+	case "balance":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: balance on|off|status|report")
+		}
+		if sys.Balancer == nil {
+			return fmt.Errorf("rebalancer off (system built without Options.Balance)")
+		}
+		switch args[0] {
+		case "on":
+			sys.Balancer.SetEnabled(true)
+			fmt.Println("  rebalancer on")
+			return nil
+		case "off":
+			sys.Balancer.SetEnabled(false)
+			fmt.Println("  rebalancer off")
+			return nil
+		case "status":
+			cfg := sys.Balancer.Config()
+			st := sys.Balancer.Stats()
+			fmt.Printf("  rebalancer: enabled=%v interval=%v thresholds CV>%.2f max/mean>%.2f for %d intervals\n",
+				sys.Balancer.Enabled(), cfg.Interval, cfg.CVMax, cfg.RatioMax, cfg.For)
+			fmt.Printf("  ticks %d, bursts %d, migrations %d, skipped %d\n",
+				st.Ticks, st.Bursts, st.Migrations, st.Skipped)
+			return nil
+		case "report":
+			fmt.Printf("  %s\n", strings.ReplaceAll(sys.Balancer.Report(), "\n", "\n  "))
+			return nil
+		default:
+			return fmt.Errorf("usage: balance on|off|status|report")
 		}
 	case "top":
 		printTopFrame(sys, 0)

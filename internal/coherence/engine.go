@@ -93,6 +93,9 @@ type Config struct {
 	// call (GetS/GetX/Inv/Downgrade/Fetch). Zero fields select defaults:
 	// 2 s per-attempt deadline, 3 attempts, 500 µs jittered backoff.
 	Retry simnet.RetryPolicy
+	// HeatHalfLife sets the decay half-life of the per-key demand
+	// counters feeding the hot-spot rebalancer (0 = 250 ms).
+	HeatHalfLife sim.Duration
 }
 
 // Stats counts engine activity.
@@ -113,6 +116,15 @@ type Stats struct {
 	// WritebackErrors counts failed destages of dirty blocks (makeRoom
 	// and the flusher); the block stays dirty and is retried later.
 	WritebackErrors int64
+	// HomeMigrations counts directory homes this blade handed away;
+	// HomeAdoptions counts homes it took over (hot-spot rebalancing).
+	HomeMigrations int64
+	HomeAdoptions  int64
+	// RedirectsServed counts requests for a migrated-away key answered
+	// with the new home's address; RedirectsFollowed counts requests this
+	// blade re-issued after such an answer.
+	RedirectsServed   int64
+	RedirectsFollowed int64
 }
 
 type dirState uint8
@@ -149,6 +161,15 @@ type Engine struct {
 	dir      map[cache.Key]*dirEntry
 	invEpoch map[cache.Key]uint64
 
+	// homeOverride maps migrated keys to their current home, consulted
+	// before the rendezvous hash. forward marks keys this blade used to
+	// home: requests that still arrive here bounce back with the new
+	// address, so a blade that missed the sethome broadcast converges
+	// instead of misrouting. heat feeds the rebalancer.
+	homeOverride map[cache.Key]int
+	forward      map[cache.Key]int
+	heat         *heatTracker
+
 	// label is "blade<self>", precomputed for span Where fields.
 	label string
 
@@ -177,10 +198,18 @@ type getSResp struct {
 	// serves it but must not install a Shared copy (the owner retains
 	// exclusive ownership until its data is destaged).
 	NoCache bool
-	Err     string
+	// Redirect reports that this blade no longer homes the key; the
+	// requester must retry at NewHome (and may cache the new address).
+	Redirect bool
+	NewHome  int
+	Err      string
 }
 type getXReq struct{ Key cache.Key }
-type getXResp struct{ Err string }
+type getXResp struct {
+	Redirect bool
+	NewHome  int
+	Err      string
+}
 type invReq struct{ Key cache.Key }
 type invResp struct{}
 type invMReq struct{ Key cache.Key }
@@ -205,6 +234,51 @@ type evictNote struct {
 	WasOwner bool
 }
 
+// Home-migration payloads (hot-spot rebalancing, §2.2/§6.3). migrate is
+// sent by the balance controller to the current home; adopt hands the
+// directory entry (plus its heat) to the new home; sethome broadcasts the
+// new address to the remaining blades.
+type migrateReq struct {
+	Key cache.Key
+	To  int
+}
+type migrateResp struct {
+	Moved bool
+	Err   string
+}
+type adoptReq struct {
+	Key     cache.Key
+	State   uint8
+	Owner   int
+	Sharers []int
+	Heat    float64
+}
+type adoptResp struct{}
+type setHomeReq struct {
+	Key  cache.Key
+	Home int
+}
+type setHomeResp struct{}
+
+// NormalizeRetry fills pol's zero fields with the engine defaults — also
+// used by management-plane callers (the balance controller) so their
+// protocol RPCs retry exactly like blade-to-blade traffic.
+func NormalizeRetry(pol simnet.RetryPolicy) simnet.RetryPolicy {
+	if pol.Timeout <= 0 {
+		pol.Timeout = defaultRPCTimeout
+	}
+	if pol.Attempts < 1 {
+		pol.Attempts = defaultRPCAttempts
+	}
+	if pol.Backoff <= 0 {
+		pol.Backoff = defaultRPCBackoff
+	}
+	if pol.Jitter <= 0 {
+		pol.Jitter = pol.Backoff
+	}
+	return pol
+}
+
 // New builds an engine and registers its protocol handlers on cfg.Conn.
 func New(k *sim.Kernel, cfg Config) *Engine {
 	if cfg.BlockSize <= 0 {
@@ -214,19 +288,7 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 	if slots <= 0 {
 		slots = 4
 	}
-	retry := cfg.Retry
-	if retry.Timeout <= 0 {
-		retry.Timeout = defaultRPCTimeout
-	}
-	if retry.Attempts < 1 {
-		retry.Attempts = defaultRPCAttempts
-	}
-	if retry.Backoff <= 0 {
-		retry.Backoff = defaultRPCBackoff
-	}
-	if retry.Jitter <= 0 {
-		retry.Jitter = retry.Backoff
-	}
+	retry := NormalizeRetry(cfg.Retry)
 	e := &Engine{
 		k:           k,
 		conn:        cfg.Conn,
@@ -240,8 +302,11 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 		cpu:         sim.NewSemaphore(k, slots),
 		retry:       retry,
 		label:       fmt.Sprintf("blade%d", cfg.Self),
-		dir:         make(map[cache.Key]*dirEntry),
-		invEpoch:    make(map[cache.Key]uint64),
+		dir:          make(map[cache.Key]*dirEntry),
+		invEpoch:     make(map[cache.Key]uint64),
+		homeOverride: make(map[cache.Key]int),
+		forward:      make(map[cache.Key]int),
+		heat:         newHeatTracker(k, cfg.HeatHalfLife),
 		replicate:   cfg.ReplicateDirty,
 		onClean:     cfg.OnClean,
 		noPeerFetch: cfg.NoPeerFetch,
@@ -260,6 +325,9 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 	e.conn.Register("coh.downgrade", e.handleDowngrade)
 	e.conn.Register("coh.fetch", e.handleFetch)
 	e.conn.Register("coh.evict", e.handleEvictNote)
+	e.conn.Register("coh.migrate", e.handleMigrate)
+	e.conn.Register("coh.adopt", e.handleAdopt)
+	e.conn.Register("coh.sethome", e.handleSetHome)
 	return e
 }
 
@@ -278,14 +346,39 @@ func (e *Engine) Alive() []int { return append([]int(nil), e.alive...) }
 // SetDown marks the engine up or down; down engines refuse client I/O.
 func (e *Engine) SetDown(down bool) { e.down = down }
 
-// home returns the blade ID that homes key under the current membership.
+// home returns the blade ID that homes key: a migration override if one is
+// installed, the rendezvous hash over the live membership otherwise.
 func (e *Engine) home(key cache.Key) (int, error) {
 	if len(e.alive) == 0 {
 		return -1, ErrNoQuorum
 	}
+	if h, ok := e.homeOverride[key]; ok {
+		return h, nil
+	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%d", key.Vol, key.LBA)
 	return e.alive[h.Sum64()%uint64(len(e.alive))], nil
+}
+
+// Home exposes this blade's view of key's home blade — used by affinity
+// routing (hosts with static paths to their data's controller) and by the
+// rebalancer to validate migration candidates.
+func (e *Engine) Home(key cache.Key) (int, error) { return e.home(key) }
+
+// HottestHomes returns up to n of the hottest keys currently homed on this
+// blade, ordered by decayed demand (deterministic tie-break).
+func (e *Engine) HottestHomes(n int) []KeyHeat {
+	ranked := e.heat.Hottest(n * 2)
+	out := make([]KeyHeat, 0, n)
+	for _, kh := range ranked {
+		if len(out) >= n {
+			break
+		}
+		if h, err := e.home(kh.Key); err == nil && h == e.self {
+			out = append(out, kh)
+		}
+	}
+	return out
 }
 
 // Busy charges d of CPU time against this blade's processor — used by
@@ -346,6 +439,9 @@ func (e *Engine) RegisterTelemetry(s telemetry.Scope) {
 	coh.Int("prefetches", func() int64 { return e.stats.Prefetches })
 	coh.Int("degraded_ops", func() int64 { return e.stats.DegradedOps })
 	coh.Int("writeback_errors", func() int64 { return e.stats.WritebackErrors })
+	coh.Int("migrated_out", func() int64 { return e.stats.HomeMigrations })
+	coh.Int("migrated_in", func() int64 { return e.stats.HomeAdoptions })
+	coh.Int("redirects", func() int64 { return e.stats.RedirectsServed })
 	s.Int("cpu_free", func() int64 { return int64(e.cpu.Available()) })
 }
 
@@ -378,6 +474,12 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 	e.busy(p, e.opDelay)
 	if ent, ok := e.cache.Get(key); ok && ent.State != cache.Invalid {
 		e.stats.LocalHits++
+		// Local hits at the home never reach the directory handler, so the
+		// demand they represent is counted here — otherwise affinity-routed
+		// hot reads would look cold to the rebalancer.
+		if h, err := e.home(key); err == nil && h == e.self {
+			e.heat.Touch(key)
+		}
 		if ctx := tr.FromProc(p); ctx.Valid() {
 			// Instant span (Start == End): marks the block as served from
 			// the local cache so breakdowns can count hit vs miss paths.
@@ -391,11 +493,26 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 		return nil, err
 	}
 	epoch := e.invEpoch[key]
-	raw, err := e.call(p, homeID, "coh.gets", getSReq{Key: key}, ctrlSize)
-	if err != nil {
-		return nil, fmt.Errorf("coherence: gets to blade %d: %w", homeID, err)
+	var resp getSResp
+	for hops := 0; ; hops++ {
+		raw, err := e.call(p, homeID, "coh.gets", getSReq{Key: key}, ctrlSize)
+		if err != nil {
+			return nil, fmt.Errorf("coherence: gets to blade %d: %w", homeID, err)
+		}
+		resp = raw.(getSResp)
+		if !resp.Redirect {
+			break
+		}
+		// The home migrated while this request was in flight: learn the
+		// new address and retry there. Chained redirects are bounded by
+		// the blade count plus in-flight migrations.
+		e.stats.RedirectsFollowed++
+		e.homeOverride[key] = resp.NewHome
+		homeID = resp.NewHome
+		if hops > len(e.peers)+8 {
+			return nil, fmt.Errorf("coherence: gets for %v: redirect loop", key)
+		}
 	}
-	resp := raw.(getSResp)
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
@@ -420,8 +537,13 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 		if err := e.makeRoom(p); err == nil {
 			// makeRoom may block on writeback; re-check that no
 			// invalidation arrived meanwhile before installing the
-			// Shared copy.
-			if e.invEpoch[key] == epoch {
+			// Shared copy. The entry must also still be absent: a writer
+			// proc on this same blade may have installed a Modified copy
+			// while our backing read was in flight (GetX does not
+			// invalidate the requester's own blade, so the epoch alone
+			// cannot see it), and overwriting that dirty block with the
+			// older backing data would lose an acknowledged write.
+			if _, present := e.cache.Peek(key); !present && e.invEpoch[key] == epoch {
 				e.cache.Put(key, data, cache.Shared, false, priority)
 				trace(key, "t=%v blade%d read MISS install S d0=%d (peer=%v)", p.Now(), e.self, d0(data), resp.Data != nil)
 			}
@@ -450,17 +572,32 @@ func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, 
 	}
 	e.stats.Writes++
 	e.busy(p, e.opDelay)
-	homeID, err := e.home(key)
-	if err != nil {
-		return err
-	}
 	for attempt := 0; ; attempt++ {
-		epoch := e.invEpoch[key]
-		raw, err := e.call(p, homeID, "coh.getx", getXReq{Key: key}, ctrlSize)
+		// Re-resolve the home each attempt: a migration can land between
+		// retries, and a Redirect answer teaches us the new address.
+		homeID, err := e.home(key)
 		if err != nil {
-			return fmt.Errorf("coherence: getx to blade %d: %w", homeID, err)
+			return err
 		}
-		if resp := raw.(getXResp); resp.Err != "" {
+		epoch := e.invEpoch[key]
+		var resp getXResp
+		for hops := 0; ; hops++ {
+			raw, err := e.call(p, homeID, "coh.getx", getXReq{Key: key}, ctrlSize)
+			if err != nil {
+				return fmt.Errorf("coherence: getx to blade %d: %w", homeID, err)
+			}
+			resp = raw.(getXResp)
+			if !resp.Redirect {
+				break
+			}
+			e.stats.RedirectsFollowed++
+			e.homeOverride[key] = resp.NewHome
+			homeID = resp.NewHome
+			if hops > len(e.peers)+8 {
+				return fmt.Errorf("coherence: getx for %v: redirect loop", key)
+			}
+		}
+		if resp.Err != "" {
 			return errors.New(resp.Err)
 		}
 		if e.invEpoch[key] != epoch {

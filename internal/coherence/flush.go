@@ -79,6 +79,11 @@ func (e *Engine) Recover(p *sim.Proc, alive []int) {
 	e.cache.Clear()
 	e.dir = make(map[cache.Key]*dirEntry)
 	e.invEpoch = make(map[cache.Key]uint64)
+	// Migration state is membership-scoped: the new live set rehashes
+	// every home, so overrides, forwarders and heat all restart from zero.
+	e.homeOverride = make(map[cache.Key]int)
+	e.forward = make(map[cache.Key]int)
+	e.heat.Reset()
 	e.alive = append([]int(nil), alive...)
 	sort.Ints(e.alive)
 }

@@ -32,12 +32,23 @@ func sortedSharers(m map[int]bool) []int {
 // handleGetS serves a read-share request as the home blade.
 func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) {
 	req := args.(getSReq)
+	if to, ok := e.forward[req.Key]; ok {
+		e.stats.RedirectsServed++
+		return getSResp{Redirect: true, NewHome: to}, ctrlSize
+	}
 	requester := bladeID(e.peers, from)
 	e.stats.DirRequests++
 	e.busy(p, e.hdlDelay)
 	ent := e.entry(req.Key)
 	ent.mu.Lock(p)
 	defer ent.mu.Unlock()
+	// The home may have migrated away while this request queued on the CPU
+	// or the entry mutex (the migration handler holds the same mutex).
+	if to, ok := e.forward[req.Key]; ok {
+		e.stats.RedirectsServed++
+		return getSResp{Redirect: true, NewHome: to}, ctrlSize
+	}
+	e.heat.Touch(req.Key)
 
 	trace(req.Key, "t=%v home%d GETS from %d state=%d owner=%d sharers=%v", e.k.Now(), e.self, requester, ent.state, ent.owner, ent.sharers)
 	switch ent.state {
@@ -81,13 +92,17 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 
 	default: // dirModified
 		owner := ent.owner
-		if owner == requester {
-			// Stale directory: the owner evicted (writing back first,
-			// invariant 3) and is re-reading. Backing store is current.
-			ent.state = dirShared
-			ent.sharers = map[int]bool{requester: true}
-			return getSResp{}, ctrlSize
-		}
+		// Note: owner == requester is NOT short-circuited as "stale
+		// directory, owner must have evicted". The owner blade can be
+		// mid-write — GetX granted but the Modified copy not yet installed —
+		// while a second proc on the same blade misses locally and sends
+		// this GetS. Assuming eviction here would downgrade the directory
+		// and declare the stale backing store current, and the reader's
+		// backing fetch would then clobber the just-installed dirty block.
+		// The downgrade probe below tells the cases apart: a truly evicted
+		// owner answers Gone (invariant 3: backing is current), a mid-write
+		// owner answers Gone too but its bumped invEpoch makes both the
+		// reader skip its install and the writer re-acquire ownership.
 		raw, err := e.conn.CallRetry(p, e.peers[owner], "coh.downgrade", downgradeReq{Key: req.Key}, ctrlSize, e.retry)
 		if err == nil {
 			dr := raw.(downgradeResp)
@@ -118,12 +133,21 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 // The requester is about to overwrite the whole block, so no data flows.
 func (e *Engine) handleGetX(p *sim.Proc, from simnet.Addr, args any) (any, int) {
 	req := args.(getXReq)
+	if to, ok := e.forward[req.Key]; ok {
+		e.stats.RedirectsServed++
+		return getXResp{Redirect: true, NewHome: to}, ctrlSize
+	}
 	requester := bladeID(e.peers, from)
 	e.stats.DirRequests++
 	e.busy(p, e.hdlDelay)
 	ent := e.entry(req.Key)
 	ent.mu.Lock(p)
 	defer ent.mu.Unlock()
+	if to, ok := e.forward[req.Key]; ok {
+		e.stats.RedirectsServed++
+		return getXResp{Redirect: true, NewHome: to}, ctrlSize
+	}
+	e.heat.Touch(req.Key)
 
 	trace(req.Key, "t=%v home%d GETX from %d state=%d owner=%d sharers=%v", e.k.Now(), e.self, requester, ent.state, ent.owner, ent.sharers)
 	switch ent.state {
@@ -242,6 +266,12 @@ func (e *Engine) handleFetch(p *sim.Proc, from simnet.Addr, args any) (any, int)
 // handleEvictNote processes an asynchronous eviction notice.
 func (e *Engine) handleEvictNote(p *sim.Proc, from simnet.Addr, args any) (any, int) {
 	note := args.(evictNote)
+	if to, ok := e.forward[note.Key]; ok {
+		// The key's home migrated away; relay the notice so the new home's
+		// sharer set does not go stale.
+		e.conn.Go(e.peers[to], "coh.evict", note, ctrlSize, 0)
+		return nil, 0
+	}
 	ent, ok := e.dir[note.Key]
 	if !ok {
 		return nil, 0

@@ -1,0 +1,309 @@
+package coherence
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Property test for the migration-extended protocol: after ANY fault-free
+// mixed schedule of reads (GetS), writes (GetX) and home migrations, the
+// cluster must satisfy the directory invariants and reads must return the
+// last acknowledged write. Schedules are random but seeded from a table, so
+// every failure is replayable by its seed.
+//
+// Checked invariants (see the package doc's numbered list):
+//
+//	a. Every blade agrees on each key's home, and exactly the home holds an
+//	   active directory entry for it.
+//	b. Directory Modified(o) ⇒ blade o holds the only cached copy, in M.
+//	c. Directory Shared ⇒ every cached copy is clean S and registered in
+//	   the home's sharer set; at most one M copy exists cluster-wide.
+//	d. A read of any key, from any blade, returns the last acked write.
+
+// wval builds a block whose first two bytes identify the write (key index,
+// per-key sequence number) — enough to distinguish every write in a run.
+func wval(key, seq int) []byte {
+	b := make([]byte, blockSize)
+	b[0], b[1] = byte(key), byte(seq)
+	return b
+}
+
+func TestPropertyMixedSchedulesWithMigration(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 7, 11, 42, 99, 1234, 2024, 31337, 98765}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runMixedScheduleProperty(t, seed)
+		})
+	}
+}
+
+func runMixedScheduleProperty(t *testing.T, seed int64) {
+	const (
+		blades      = 4
+		cacheBlocks = 8 // tiny: forces evictions mid-schedule
+		keys        = 24
+		writers     = 3
+		readers     = 3
+		writerOps   = 60
+		readerOps   = 60
+		migrations  = 16
+		tailOps     = 80
+	)
+	h := newHarness(seed, blades, cacheBlocks)
+	// The schedule's own randomness is separate from the kernel's seed so
+	// the two can't accidentally cancel out.
+	rng := rand.New(rand.NewSource(seed * 7919))
+
+	// Control-plane endpoint for migrations, wired like the balancer's.
+	h.net.Connect("ctl", "fabric", simnet.FC2G)
+	ctl := simnet.NewConn(h.net, "ctl")
+	retry := NormalizeRetry(simnet.RetryPolicy{})
+
+	// expected[k] is the last acked write per key. The concurrent phase
+	// partitions keys across writers (key k belongs to writer k%writers),
+	// so "last acked" is well-defined even mid-flight; the sequential tail
+	// then writes from arbitrary blades to arbitrary keys.
+	expected := make(map[int][]byte)
+	seq := make(map[int]int)
+
+	h.run(func(p *sim.Proc) {
+		g := sim.NewGroup(h.k)
+
+		for w := 0; w < writers; w++ {
+			w := w
+			wrng := rand.New(rand.NewSource(seed*1000 + int64(w)))
+			g.Add(1)
+			h.k.Go(fmt.Sprintf("writer%d", w), func(p *sim.Proc) {
+				defer g.Done()
+				for i := 0; i < writerOps; i++ {
+					k := wrng.Intn(keys/writers)*writers + w // this writer's keys only
+					e := h.engines[wrng.Intn(blades)]
+					seq[k]++
+					v := wval(k, seq[k])
+					if err := e.WriteBlock(p, kb(int64(k)), v, 0); err != nil {
+						t.Errorf("writer%d op %d key %d: %v", w, i, k, err)
+						return
+					}
+					expected[k] = v // acked
+				}
+			})
+		}
+
+		for r := 0; r < readers; r++ {
+			r := r
+			rrng := rand.New(rand.NewSource(seed*2000 + int64(r)))
+			g.Add(1)
+			h.k.Go(fmt.Sprintf("reader%d", r), func(p *sim.Proc) {
+				defer g.Done()
+				for i := 0; i < readerOps; i++ {
+					k := rrng.Intn(keys)
+					e := h.engines[rrng.Intn(blades)]
+					if _, err := e.ReadBlock(p, kb(int64(k)), 0); err != nil {
+						t.Errorf("reader%d op %d key %d: %v", r, i, k, err)
+						return
+					}
+				}
+			})
+		}
+
+		mrng := rand.New(rand.NewSource(seed * 3000))
+		g.Add(1)
+		h.k.Go("migrator", func(p *sim.Proc) {
+			defer g.Done()
+			for i := 0; i < migrations; i++ {
+				k := kb(int64(mrng.Intn(keys)))
+				home, err := h.engines[0].Home(k)
+				if err != nil {
+					t.Errorf("migrator: home(%v): %v", k, err)
+					return
+				}
+				to := mrng.Intn(blades)
+				if to == home {
+					to = (to + 1) % blades
+				}
+				peer := simnet.Addr(fmt.Sprintf("blade%d", home))
+				// A stale candidate (home moved since we looked) is a
+				// declined migrate, not a failure.
+				RequestMigrate(p, ctl, peer, k, to, retry)
+			}
+		})
+
+		g.Wait(p)
+
+		// Sequential tail: any blade touching any key, including further
+		// migrations interleaved with the I/O.
+		for i := 0; i < tailOps; i++ {
+			k := rng.Intn(keys)
+			e := h.engines[rng.Intn(blades)]
+			switch rng.Intn(4) {
+			case 0, 1: // read
+				d, err := e.ReadBlock(p, kb(int64(k)), 0)
+				if err != nil {
+					t.Fatalf("tail op %d read key %d: %v", i, k, err)
+				}
+				if want := expected[k]; want != nil && (d[0] != want[0] || d[1] != want[1]) {
+					t.Fatalf("tail op %d key %d read (%d,%d), want (%d,%d)",
+						i, k, d[0], d[1], want[0], want[1])
+				}
+			case 2: // write
+				seq[k]++
+				v := wval(k, seq[k])
+				if err := e.WriteBlock(p, kb(int64(k)), v, 0); err != nil {
+					t.Fatalf("tail op %d write key %d: %v", i, k, err)
+				}
+				expected[k] = v
+			case 3: // migrate
+				home, err := h.engines[0].Home(kb(int64(k)))
+				if err != nil {
+					t.Fatalf("tail op %d home key %d: %v", i, k, err)
+				}
+				to := rng.Intn(blades)
+				if to == home {
+					to = (to + 1) % blades
+				}
+				peer := simnet.Addr(fmt.Sprintf("blade%d", home))
+				RequestMigrate(p, ctl, peer, kb(int64(k)), to, retry)
+			}
+		}
+
+		// d. Final reads: every key, from a rotating blade, must return the
+		// last acked write.
+		for k := 0; k < keys; k++ {
+			want := expected[k]
+			if want == nil {
+				continue
+			}
+			e := h.engines[k%blades]
+			d, err := e.ReadBlock(p, kb(int64(k)), 0)
+			if err != nil {
+				t.Fatalf("final read key %d: %v", k, err)
+			}
+			if d[0] != want[0] || d[1] != want[1] {
+				t.Fatalf("final read key %d = (%d,%d), want last acked (%d,%d)",
+					k, d[0], d[1], want[0], want[1])
+			}
+		}
+	})
+
+	if t.Failed() {
+		return
+	}
+	checkDirectoryInvariants(t, h, keys)
+
+	moved := int64(0)
+	for _, e := range h.engines {
+		moved += e.Stats().HomeMigrations
+	}
+	if moved == 0 {
+		t.Fatalf("schedule performed no successful migrations; property not exercised")
+	}
+}
+
+// checkDirectoryInvariants inspects the drained cluster's directory and
+// cache state structurally (same package: unexported fields are fair game).
+func checkDirectoryInvariants(t *testing.T, h *harness, keys int) {
+	t.Helper()
+	for k := 0; k < keys; k++ {
+		key := kb(int64(k))
+
+		// a. One home, agreed by everyone, and it is alive.
+		home, err := h.engines[0].Home(key)
+		if err != nil {
+			t.Fatalf("key %d: no home: %v", k, err)
+		}
+		for _, e := range h.engines {
+			got, err := e.Home(key)
+			if err != nil || got != home {
+				t.Fatalf("key %d: blade%d says home=%d (err %v), blade0 says %d",
+					k, e.Self(), got, err, home)
+			}
+		}
+		alive := false
+		for _, b := range h.engines[home].Alive() {
+			if b == home {
+				alive = true
+			}
+		}
+		if !alive {
+			t.Fatalf("key %d: home %d not in membership", k, home)
+		}
+		for _, e := range h.engines {
+			if e.Self() == home {
+				continue
+			}
+			if ent, ok := e.dir[key]; ok && ent.state != dirInvalid {
+				t.Fatalf("key %d: non-home blade%d holds active dir entry state=%d",
+					k, e.Self(), ent.state)
+			}
+		}
+
+		// Collect every cached copy.
+		var copies []copyAt
+		for _, e := range h.engines {
+			if ent, ok := e.cache.Peek(key); ok && ent.State != cache.Invalid {
+				copies = append(copies, copyAt{e.Self(), ent})
+			}
+		}
+		var mCopies []copyAt
+		for _, c := range copies {
+			if c.ent.State == cache.Modified {
+				mCopies = append(mCopies, c)
+			}
+		}
+		if len(mCopies) > 1 {
+			t.Fatalf("key %d: %d Modified copies cluster-wide", k, len(mCopies))
+		}
+
+		dirEnt, hasDir := h.engines[home].dir[key]
+		state := dirInvalid
+		if hasDir {
+			state = dirEnt.state
+		}
+		switch state {
+		case dirModified:
+			// b. Exactly the owner caches it, in M.
+			if len(copies) != 1 || copies[0].blade != dirEnt.owner || copies[0].ent.State != cache.Modified {
+				t.Fatalf("key %d: dir Modified(owner %d) but copies %+v", k, dirEnt.owner, describe(copies))
+			}
+		case dirShared:
+			// c. Cached copies are clean S and registered as sharers.
+			for _, c := range copies {
+				if c.ent.State != cache.Shared || c.ent.Dirty {
+					t.Fatalf("key %d: dir Shared but blade%d holds state=%v dirty=%v",
+						k, c.blade, c.ent.State, c.ent.Dirty)
+				}
+				if !dirEnt.sharers[c.blade] {
+					t.Fatalf("key %d: blade%d caches S copy but is not in sharer set %v",
+						k, c.blade, dirEnt.sharers)
+				}
+			}
+			if len(mCopies) != 0 {
+				t.Fatalf("key %d: dir Shared with a Modified copy at blade%d", k, mCopies[0].blade)
+			}
+		case dirInvalid:
+			if len(copies) != 0 {
+				t.Fatalf("key %d: dir Invalid but cached at %+v", k, describe(copies))
+			}
+		}
+	}
+}
+
+// copyAt is one blade's cached copy of a key, for invariant reporting.
+type copyAt struct {
+	blade int
+	ent   *cache.Entry
+}
+
+func describe(copies []copyAt) []string {
+	out := make([]string, 0, len(copies))
+	for _, c := range copies {
+		out = append(out, fmt.Sprintf("blade%d:%v dirty=%v", c.blade, c.ent.State, c.ent.Dirty))
+	}
+	return out
+}

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/balance"
 	"repro/internal/controller"
 	"repro/internal/disk"
 	"repro/internal/georepl"
@@ -79,6 +80,15 @@ type Options struct {
 	// whose p99 op latency exceeds this emits an slo event, as do client
 	// errors and degraded-mode entry/exit. Zero leaves latency unwatched.
 	SLOReadP99 sim.Duration
+	// Balance, when true, attaches the adaptive hot-spot rebalancer
+	// (System.Balancer): it watches the scraper's per-blade load series
+	// and migrates directory homes of the hottest blocks off sustained
+	// hot blades. Requires Telemetry (the scraper is its feedback signal).
+	// The controller starts enabled; System.Balancer.SetEnabled toggles it.
+	Balance bool
+	// BalanceConfig overrides the rebalancer's thresholds and pacing
+	// (zero fields mirror the hot-spot watchdog defaults).
+	BalanceConfig balance.Config
 }
 
 func (o *Options) fillDefaults() {
@@ -125,8 +135,12 @@ type System struct {
 	// Scraper is non-nil when Options.Telemetry was set; it is already
 	// started and is stopped by System.Stop.
 	Scraper *telemetry.Scraper
+	// Balancer is non-nil when Options.Balance was set; it is already
+	// started and is stopped by System.Stop.
+	Balancer *balance.Controller
 
-	stopScrape func()
+	stopScrape  func()
+	stopBalance func()
 }
 
 // NewSystem builds a system on its own kernel.
@@ -208,11 +222,22 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 		})
 		sys.stopScrape = sys.Scraper.Start()
 	}
+	if opts.Balance {
+		if sys.Scraper == nil {
+			return nil, fmt.Errorf("core: Balance requires Telemetry (the scraper is the rebalancer's feedback signal)")
+		}
+		sys.Balancer = cluster.NewBalancer(sys.Scraper, opts.BalanceConfig)
+		sys.stopBalance = sys.Balancer.Start()
+	}
 	return sys, nil
 }
 
 // Stop halts the system's background processes so the simulation drains.
 func (s *System) Stop() {
+	if s.stopBalance != nil {
+		s.stopBalance()
+		s.stopBalance = nil
+	}
 	if s.stopScrape != nil {
 		s.stopScrape()
 		s.stopScrape = nil

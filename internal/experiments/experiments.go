@@ -152,6 +152,7 @@ func All(seed int64) []*metrics.Table {
 		E9(seed),
 		E10(seed),
 		E11(seed),
+		E12(seed),
 	}
 }
 

@@ -216,6 +216,54 @@ func skipIfShort(t *testing.T) {
 	}
 }
 
+// TestE12RebalanceRecovers checks the experiment's acceptance claims: with
+// balancing on, under the same Zipf seed, the per-blade load CV drops
+// below the hot-spot watchdog threshold and throughput recovers to ≥ 90%
+// of the uniform-workload baseline.
+func TestE12RebalanceRecovers(t *testing.T) {
+	skipIfShort(t)
+	r := RunE12(1)
+	if r.Static.CV <= r.CVMax || r.Static.Ratio <= r.RatioMax {
+		t.Fatalf("static-path Zipf run shows no hot-spot (CV %.2f, max/mean %.2f vs thresholds %.2f/%.2f); premise broken",
+			r.Static.CV, r.Static.Ratio, r.CVMax, r.RatioMax)
+	}
+	if r.Migrations == 0 {
+		t.Fatalf("balanced run migrated no homes: %+v", r)
+	}
+	if r.Balanced.CV >= r.CVMax {
+		t.Fatalf("balanced load CV %.2f did not fall below the watchdog threshold %.2f", r.Balanced.CV, r.CVMax)
+	}
+	if got := r.Balanced.OpsPerSec / r.Uniform.OpsPerSec; got < 0.90 {
+		t.Fatalf("balanced throughput %.1f%% of uniform baseline, want ≥ 90%%", 100*got)
+	}
+	// Balancing must actually help over leaving the skew in place.
+	if r.Balanced.OpsPerSec <= r.Static.OpsPerSec {
+		t.Fatalf("balancing did not improve throughput: %v vs static %v", r.Balanced.OpsPerSec, r.Static.OpsPerSec)
+	}
+	// The watchdog and the balancer watch the same signal: the balanced
+	// run must carry at least one hot-spot warn from the skewed warm-up.
+	warned := false
+	for _, ev := range r.Events {
+		if strings.Contains(ev.String(), "hot-spot") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no hot-spot watchdog event in the balanced run: %v", r.Events)
+	}
+}
+
+// TestE12Deterministic: two same-seed runs must render byte-identical
+// tables — balancer decisions, watchdog events, skew sparklines and all.
+func TestE12Deterministic(t *testing.T) {
+	skipIfShort(t)
+	a := E12(1).String()
+	b := E12(1).String()
+	if a != b {
+		t.Fatalf("E12 not deterministic across runs with the same seed:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
 func TestE11LossyFabricDeterministic(t *testing.T) {
 	skipIfShort(t)
 	tab := E11(1)

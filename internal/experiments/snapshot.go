@@ -14,6 +14,18 @@ type PhaseQuantiles struct {
 	P99Ms  float64 `json:"p99_ms"`
 }
 
+// BalanceSummary condenses E12 — the adaptive hot-spot rebalancer — into
+// the perf record: throughput and per-blade load CV with balancing off vs
+// on, under the same Zipf seed.
+type BalanceSummary struct {
+	UniformOpsPerSec  float64 `json:"uniform_ops_per_sec"`
+	StaticOpsPerSec   float64 `json:"static_ops_per_sec"`
+	BalancedOpsPerSec float64 `json:"balanced_ops_per_sec"`
+	StaticCV          float64 `json:"static_cv"`
+	BalancedCV        float64 `json:"balanced_cv"`
+	Migrations        int64   `json:"migrations"`
+}
+
 // Snapshot is the machine-readable perf record benchrunner writes per PR
 // (BENCH_PRn.json), so the bench trajectory across PRs stays comparable:
 // canonical traced workload, per-phase latency quantiles, throughput.
@@ -27,12 +39,19 @@ type Snapshot struct {
 	MeanMs    float64                   `json:"mean_ms"`
 	P99Ms     float64                   `json:"p99_ms"`
 	Phases    map[string]PhaseQuantiles `json:"phases"`
+	Balance   BalanceSummary            `json:"balance"`
 }
 
 // PerfSnapshot runs the canonical snapshot workload — an 8-blade cluster
 // under a mixed read/write closed loop with tracing on — and returns the
-// per-phase summary. Deterministic per seed.
-func PerfSnapshot(seed int64) Snapshot {
+// per-phase summary plus the E12 balance summary. Deterministic per seed.
+func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true) }
+
+// perfSnapshot optionally skips the E12 arm: the snapshot tests double-run
+// the builder to prove determinism, and paying for a second full E12 there
+// would duplicate what TestE12Deterministic already asserts while pushing
+// the package past the default go-test timeout.
+func perfSnapshot(seed int64, withBalance bool) Snapshot {
 	const (
 		blades  = 8
 		clients = 32
@@ -85,6 +104,17 @@ func PerfSnapshot(seed int64) Snapshot {
 			MeanMs: h.Mean().Millis(),
 			P50Ms:  h.P50().Millis(),
 			P99Ms:  h.P99().Millis(),
+		}
+	}
+	if withBalance {
+		e12 := RunE12(seed)
+		snap.Balance = BalanceSummary{
+			UniformOpsPerSec:  e12.Uniform.OpsPerSec,
+			StaticOpsPerSec:   e12.Static.OpsPerSec,
+			BalancedOpsPerSec: e12.Balanced.OpsPerSec,
+			StaticCV:          e12.Static.CV,
+			BalancedCV:        e12.Balanced.CV,
+			Migrations:        e12.Migrations,
 		}
 	}
 	return snap

@@ -7,14 +7,17 @@ import (
 
 // TestPerfSnapshotDeterministic is the golden-file property for the
 // BENCH_PRn.json artifact: same-seed runs must serialize byte-identically,
-// or the bench trajectory across PRs measures noise instead of code.
+// or the bench trajectory across PRs measures noise instead of code. The
+// E12 balance arm is skipped here — its determinism is asserted by
+// TestE12Deterministic, and a second full E12 run would blow the package's
+// test-time budget.
 func TestPerfSnapshotDeterministic(t *testing.T) {
 	skipIfShort(t)
-	a, err := json.MarshalIndent(PerfSnapshot(1), "", "  ")
+	a, err := json.MarshalIndent(perfSnapshot(1, false), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := json.MarshalIndent(PerfSnapshot(1), "", "  ")
+	b, err := json.MarshalIndent(perfSnapshot(1, false), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +28,7 @@ func TestPerfSnapshotDeterministic(t *testing.T) {
 
 func TestPerfSnapshotShape(t *testing.T) {
 	skipIfShort(t)
-	snap := PerfSnapshot(2)
+	snap := perfSnapshot(2, false)
 	if snap.Ops <= 0 {
 		t.Fatalf("snapshot ran no ops: %+v", snap)
 	}

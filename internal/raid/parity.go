@@ -46,6 +46,20 @@ func RSParity(data [][]byte) []byte {
 //
 //	P = Σ dᵢ            Q = Σ gⁱ·dᵢ
 func Reconstruct(data [][]byte, p, q []byte, missing []int, pLost, qLost bool) error {
+	// Classify unrecoverable loss before probing for a block length: a
+	// stripe that lost everything is "too many failures", not a malformed
+	// call.
+	parityAvail := 0
+	if !pLost && p != nil {
+		parityAvail++
+	}
+	if !qLost && q != nil {
+		parityAvail++
+	}
+	if len(missing) > parityAvail {
+		return fmt.Errorf("%w: %d data blocks lost, %d parity available", ErrTooManyFailures, len(missing), parityAvail)
+	}
+
 	blockLen := 0
 	for _, d := range data {
 		if d != nil {
@@ -61,17 +75,6 @@ func Reconstruct(data [][]byte, p, q []byte, missing []int, pLost, qLost bool) e
 	}
 	if blockLen == 0 {
 		return errors.New("raid: nothing to reconstruct from")
-	}
-
-	parityAvail := 0
-	if !pLost && p != nil {
-		parityAvail++
-	}
-	if !qLost && q != nil {
-		parityAvail++
-	}
-	if len(missing) > parityAvail {
-		return fmt.Errorf("%w: %d data blocks lost, %d parity available", ErrTooManyFailures, len(missing), parityAvail)
 	}
 
 	switch len(missing) {

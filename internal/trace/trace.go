@@ -49,10 +49,13 @@ const (
 	// stall) — an instant span interleaving alarms with the operations
 	// they explain.
 	Watchdog Phase = "watchdog"
+	// Balance is a hot-spot rebalancer action: one home migration, with
+	// the coherence/fabric spans of the migrate exchange nested under it.
+	Balance Phase = "balance"
 )
 
 // Phases lists every phase in canonical (breakdown-table) order.
-var Phases = []Phase{Op, Queue, Fabric, Coherence, Disk, Repl, CacheHit, Watchdog}
+var Phases = []Phase{Op, Queue, Fabric, Coherence, Disk, Repl, CacheHit, Watchdog, Balance}
 
 // Span is one completed timed region. IDs are assigned in start order and
 // spans are recorded in end order, both deterministic under the sim

@@ -66,6 +66,11 @@ func (u Uniform) Next(rng *rand.Rand) Op {
 
 // Zipf skews accesses so a small set of blocks is hit extremely hard —
 // the paper's "hot data" (§2). S > 1 controls the skew.
+//
+// Prefer NewZipf: a literal Zipf binds its value generator to whatever rng
+// the *first* Next call happens to pass, so the generator's stream state
+// silently depends on who touched the pattern first and never re-binds if
+// a different rng is passed later.
 type Zipf struct {
 	Range     int64
 	S         float64
@@ -74,14 +79,27 @@ type Zipf struct {
 	z         *rand.Zipf
 }
 
+// NewZipf builds a Zipf pattern bound to rng from construction, so the
+// op stream is fully determined by rng's seed starting at op 0.
+func NewZipf(rng *rand.Rand, rangeBlocks int64, s float64, blocks int, writeFrac float64) *Zipf {
+	z := &Zipf{Range: rangeBlocks, S: s, Blocks: blocks, WriteFrac: writeFrac}
+	z.bind(rng)
+	return z
+}
+
+// bind attaches the Zipf value generator to rng.
+func (z *Zipf) bind(rng *rand.Rand) {
+	s := z.S
+	if s <= 1 {
+		s = 1.1
+	}
+	z.z = rand.NewZipf(rng, s, 1, uint64(max64(z.Range-1, 1)))
+}
+
 // Next returns a Zipf-distributed operation.
 func (z *Zipf) Next(rng *rand.Rand) Op {
 	if z.z == nil {
-		s := z.S
-		if s <= 1 {
-			s = 1.1
-		}
-		z.z = rand.NewZipf(rng, s, 1, uint64(max64(z.Range-1, 1)))
+		z.bind(rng) // literal construction: bind on first use (see type doc)
 	}
 	blocks := z.Blocks
 	if blocks <= 0 {
