@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke
+.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke
 
 all: verify
 
@@ -23,9 +23,15 @@ verify: build vet test race
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# snapshot writes the per-PR perf record (per-phase p50/p99 + throughput).
+# snapshot writes the per-PR perf record (per-phase p50/p99 + throughput,
+# plus the E12 balance and E13 QoS summaries).
 snapshot:
-	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR4.json
+	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR5.json
+
+# qos-smoke runs the reduced-scale multi-tenant isolation experiment —
+# the CI gate that admission control and fair queueing still isolate.
+qos-smoke:
+	$(GO) run ./cmd/benchrunner -only E13Q
 
 # experiments regenerates every table in EXPERIMENTS.md on stdout.
 experiments:

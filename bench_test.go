@@ -89,3 +89,8 @@ func BenchmarkA3ReplicationCost(b *testing.B) { runExperiment(b, experiments.A3R
 
 // BenchmarkA4ReadAhead — ablation: controller readahead on/off.
 func BenchmarkA4ReadAhead(b *testing.B) { runExperiment(b, experiments.A4ReadAhead) }
+
+// BenchmarkE13QoSIsolation — §2.4/§4: multi-tenant admission control and
+// weighted-fair scheduling defending a victim tenant's p99 against an
+// aggressor plus a concurrent rebuild.
+func BenchmarkE13QoSIsolation(b *testing.B) { runExperiment(b, experiments.E13) }

@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every table and figure of the
-// reproduction (E1–E12 in DESIGN.md/EXPERIMENTS.md) and prints them as
+// reproduction (E1–E13 in DESIGN.md/EXPERIMENTS.md) and prints them as
 // plain-text tables.
 //
 // Usage:
@@ -39,6 +39,8 @@ var runners = []struct {
 	{"E10", "§6.3: availability through blade failures", experiments.E10},
 	{"E11", "§6.3: availability under a lossy fabric", experiments.E11},
 	{"E12", "§2.2/§6.3: adaptive hot-spot rebalancing", experiments.E12},
+	{"E13", "§2.4/§4: multi-tenant QoS isolation under rebuild", experiments.E13},
+	{"E13Q", "reduced-scale QoS isolation smoke (CI)", experiments.E13Q},
 	{"A1", "ablation: remote-read prefetch on/off", experiments.A1Prefetch},
 	{"A2", "ablation: cache-to-cache transfers on/off", experiments.A2PeerFetch},
 	{"A3", "ablation: write latency vs replication factor", experiments.A3ReplicationCost},

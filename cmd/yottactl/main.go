@@ -55,6 +55,9 @@
 //	balance on|off                  toggle the adaptive hot-spot rebalancer
 //	balance status                  rebalancer thresholds + counters
 //	balance report                  counters plus the home-migration log
+//	qos on|off                      toggle admission control + fair queueing
+//	qos status                      switch state, lane weights, bucket count
+//	qos report                      tenants, governor, per-lane occupancy
 //	trace on|off                    toggle per-op tracing
 //	trace status                    span counts per phase so far
 //	trace export chrome <file>      write Chrome trace_event JSON
@@ -83,6 +86,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/metrics"
 	"repro/internal/pfs"
+	"repro/internal/qos"
 	"repro/internal/security"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -113,6 +117,9 @@ status
 top
 telemetry status
 balance status
+qos on
+qos status
+qos report
 `
 
 func main() {
@@ -149,6 +156,14 @@ func main() {
 		Telemetry:  100 * sim.Millisecond,
 		SLOReadP99: 50 * sim.Millisecond,
 		Balance:    true,
+		// QoS plumbing is installed but disabled until a script says
+		// `qos on`. The demo tenant's bucket is sized small enough that a
+		// busy script can see delays in `qos report`.
+		QoS: &qos.Config{
+			Tenants: map[string]qos.TenantSpec{
+				"fusion": {Rate: 2000, Burst: 256, MaxQueue: 64},
+			},
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -448,6 +463,37 @@ func execute(p *sim.Proc, sys *core.System, line string) error {
 			return nil
 		default:
 			return fmt.Errorf("usage: balance on|off|status|report")
+		}
+	case "qos":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: qos on|off|status|report")
+		}
+		if sys.QoS == nil {
+			return fmt.Errorf("qos off (system built without Options.QoS)")
+		}
+		switch args[0] {
+		case "on":
+			sys.QoS.SetEnabled(true)
+			fmt.Println("  qos on")
+			return nil
+		case "off":
+			sys.QoS.SetEnabled(false)
+			fmt.Println("  qos off")
+			return nil
+		case "status":
+			state := "off"
+			if sys.QoS.Enabled() {
+				state = "on"
+			}
+			w := sys.QoS.Weights()
+			fmt.Printf("  qos: %s, lane weights fg %.3g/%.3g/%.3g/%.3g bg %.3g, %d tenant buckets\n",
+				state, w[0], w[1], w[2], w[3], w[4], len(sys.QoS.Admission().Stats()))
+			return nil
+		case "report":
+			fmt.Printf("  %s\n", strings.ReplaceAll(strings.TrimRight(sys.QoS.Report(), "\n"), "\n", "\n  "))
+			return nil
+		default:
+			return fmt.Errorf("usage: qos on|off|status|report")
 		}
 	case "top":
 		printTopFrame(sys, 0)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/metrics"
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -208,7 +209,12 @@ func (c *Controller) Start() (stop func()) {
 		if c.stopped {
 			return
 		}
-		c.k.Go("balance", c.tick)
+		c.k.Go("balance", func(p *sim.Proc) {
+			// Home migration is a storage service; its fabric and disk
+			// work rides the background QoS lane.
+			qos.TagBackground(p)
+			c.tick(p)
+		})
 		c.k.After(c.cfg.Interval, tick)
 	}
 	c.k.After(c.cfg.Interval, tick)

@@ -25,6 +25,7 @@ import (
 	"hash/fnv"
 
 	"repro/internal/cache"
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -96,6 +97,11 @@ type Config struct {
 	// HeatHalfLife sets the decay half-life of the per-key demand
 	// counters feeding the hot-spot rebalancer (0 = 250 ms).
 	HeatHalfLife sim.Duration
+	// CPUQueue, if non-nil, replaces the FIFO CPU semaphore with a QoS
+	// weighted-fair queue of the same slot count, so background services
+	// (rebuild compute, destage) queue behind foreground ops per lane
+	// weight instead of head-of-line blocking them.
+	CPUQueue *qos.FairQueue
 }
 
 // Stats counts engine activity.
@@ -154,6 +160,7 @@ type Engine struct {
 	opDelay   sim.Duration
 	hdlDelay  sim.Duration
 	cpu       *sim.Semaphore
+	cpuq      *qos.FairQueue
 	retry     simnet.RetryPolicy
 
 	alive []int // sorted live blade IDs; must agree across blades
@@ -290,30 +297,31 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 	}
 	retry := NormalizeRetry(cfg.Retry)
 	e := &Engine{
-		k:           k,
-		conn:        cfg.Conn,
-		peers:       cfg.Peers,
-		self:        cfg.Self,
-		cache:       cfg.Cache,
-		backing:     cfg.Backing,
-		blockSize:   cfg.BlockSize,
-		opDelay:     cfg.OpDelay,
-		hdlDelay:    cfg.HandlerDelay,
-		cpu:         sim.NewSemaphore(k, slots),
-		retry:       retry,
-		label:       fmt.Sprintf("blade%d", cfg.Self),
+		k:            k,
+		conn:         cfg.Conn,
+		peers:        cfg.Peers,
+		self:         cfg.Self,
+		cache:        cfg.Cache,
+		backing:      cfg.Backing,
+		blockSize:    cfg.BlockSize,
+		opDelay:      cfg.OpDelay,
+		hdlDelay:     cfg.HandlerDelay,
+		cpu:          sim.NewSemaphore(k, slots),
+		cpuq:         cfg.CPUQueue,
+		retry:        retry,
+		label:        fmt.Sprintf("blade%d", cfg.Self),
 		dir:          make(map[cache.Key]*dirEntry),
 		invEpoch:     make(map[cache.Key]uint64),
 		homeOverride: make(map[cache.Key]int),
 		forward:      make(map[cache.Key]int),
 		heat:         newHeatTracker(k, cfg.HeatHalfLife),
-		replicate:   cfg.ReplicateDirty,
-		onClean:     cfg.OnClean,
-		noPeerFetch: cfg.NoPeerFetch,
-		readAhead:   cfg.ReadAhead,
-		lastSeq:     make(map[string]int64),
-		seqStreak:   make(map[string]int),
-		prefetching: make(map[cache.Key]bool),
+		replicate:    cfg.ReplicateDirty,
+		onClean:      cfg.OnClean,
+		noPeerFetch:  cfg.NoPeerFetch,
+		readAhead:    cfg.ReadAhead,
+		lastSeq:      make(map[string]int64),
+		seqStreak:    make(map[string]int),
+		prefetching:  make(map[cache.Key]bool),
 	}
 	for i := range cfg.Peers {
 		e.alive = append(e.alive, i)
@@ -386,9 +394,18 @@ func (e *Engine) HottestHomes(n int) []KeyHeat {
 // with the I/O path.
 func (e *Engine) Busy(p *sim.Proc, d sim.Duration) { e.busy(p, d) }
 
-// busy charges CPU for one operation of duration d.
+// busy charges CPU for one operation of duration d. With a QoS queue
+// installed the caller competes in its lane; otherwise the plain FIFO
+// semaphore preserves the pre-QoS event order exactly.
 func (e *Engine) busy(p *sim.Proc, d sim.Duration) {
 	qs := tr.FromProc(p).Child("cpu-queue", tr.Queue, e.label)
+	if e.cpuq != nil {
+		e.cpuq.Acquire(p, qos.LaneOf(p), d.Millis())
+		qs.End()
+		p.Sleep(d)
+		e.cpuq.Release()
+		return
+	}
 	e.cpu.Acquire(p, 1)
 	qs.End()
 	p.Sleep(d)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/qos"
 	"repro/internal/sim"
 )
 
@@ -58,6 +59,11 @@ func (e *Engine) FlushOnce(p *sim.Proc, max int) int {
 func (e *Engine) StartFlusher(interval sim.Duration, batch int) (stop func()) {
 	stopped := false
 	e.k.Go("flusher", func(p *sim.Proc) {
+		// Periodic destage is a storage service: its disk writes compete
+		// in the background lane, not against client ops. (Evictions in
+		// makeRoom stay on the evicting op's own lane — that writeback is
+		// on the foreground op's critical path.)
+		qos.TagBackground(p)
 		for {
 			p.Sleep(interval)
 			if stopped || e.down {

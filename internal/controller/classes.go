@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/disk"
+	"repro/internal/qos"
 	"repro/internal/raid"
 	"repro/internal/sim"
 	"repro/internal/virt"
@@ -154,6 +155,8 @@ func (c *Cluster) DistributedClone(p *sim.Proc, class, srcVol, dstName string) (
 		grp.Add(1)
 		c.K.Go(fmt.Sprintf("clone/blade%d", b.ID), func(q *sim.Proc) {
 			defer grp.Done()
+			// Point-in-time copy is background service traffic (§2.4).
+			qos.TagBackground(q)
 			for {
 				if b.Down || next >= len(extents) || firstErr != nil {
 					return

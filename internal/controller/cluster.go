@@ -15,6 +15,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/disk"
 	"repro/internal/metrics"
+	"repro/internal/qos"
 	"repro/internal/raid"
 	"repro/internal/replication"
 	"repro/internal/sim"
@@ -71,6 +72,11 @@ type Config struct {
 	// Tracer, when non-nil, opens a root span per client Read/Write; the
 	// context propagates through coherence, replication, fabric and disk.
 	Tracer *trace.Tracer
+	// QoS, when non-nil, builds the admission/fair-queueing subsystem:
+	// per-tenant token buckets at the front door, weighted-fair lanes at
+	// every disk and every blade's CPU. The subsystem starts disabled;
+	// flip it with Cluster.QoS.SetEnabled (yottactl `qos on`).
+	QoS *qos.Config
 }
 
 // DefaultConfig returns a mid-size lab configuration: 4 blades, RAID-5
@@ -120,6 +126,11 @@ type Cluster struct {
 	// Errors counts client operations that failed (E10 availability).
 	Errors int64
 	rr     int // round-robin cursor for load balancing
+
+	// QoS is the admission/fair-queueing subsystem (nil when Config.QoS
+	// was nil). Throttled ops return qos.ErrThrottled without counting
+	// against Errors: a shed is the contract working, not a failure.
+	QoS *qos.Manager
 
 	// Reg is the cluster's telemetry registry: every blade, disk and link
 	// registers its counters here at construction under hierarchical names
@@ -184,9 +195,19 @@ func New(k *sim.Kernel, cfg Config) (*Cluster, error) {
 
 	net := simnet.New(k)
 	c := &Cluster{K: k, Net: net, Cfg: cfg, classPools: make(map[string]*virt.Pool)}
+	if cfg.QoS != nil {
+		c.QoS = qos.NewManager(k, *cfg.QoS)
+	}
 
 	// Disk farm and RAID groups.
 	c.Farm = disk.NewFarm(k, "disk", cfg.Disks, cfg.DiskSpec)
+	if c.QoS != nil {
+		// Each drive serves one I/O at a time; the fair queue arbitrates
+		// which lane's head goes next.
+		for _, d := range c.Farm.Disks {
+			d.SetScheduler(c.QoS.NewFairQueue(1))
+		}
+	}
 	var devices []virt.BlockDevice
 	for g := 0; g < cfg.Disks/cfg.DisksPerGroup; g++ {
 		grp, err := raid.NewGroup(k, cfg.RAIDLevel, c.Farm.Disks[g*cfg.DisksPerGroup:(g+1)*cfg.DisksPerGroup])
@@ -230,6 +251,13 @@ func New(k *sim.Kernel, cfg Config) (*Cluster, error) {
 		if cfg.ReplicationN > 1 {
 			engCfg.ReplicateDirty = repl.ReplicateDirty
 			engCfg.OnClean = repl.OnClean
+		}
+		if c.QoS != nil {
+			slots := cfg.CPUSlots
+			if slots <= 0 {
+				slots = 4
+			}
+			engCfg.CPUQueue = c.QoS.NewFairQueue(slots)
 		}
 		eng := coherence.New(k, engCfg)
 		b := &Blade{ID: i, Addr: peers[i], Conn: conn, Engine: eng, Repl: repl}
@@ -278,6 +306,9 @@ func (c *Cluster) registerTelemetry() {
 		d.RegisterTelemetry(r.Sub(fmt.Sprintf("disk/%d", i)))
 	}
 	c.Net.RegisterTelemetry(r.Sub("net"))
+	if c.QoS != nil {
+		c.QoS.RegisterTelemetry(r.Sub("qos"))
+	}
 }
 
 // SetFaultPlan injects plan on every fabric link (a zero plan disables
@@ -384,12 +415,35 @@ func (c *Cluster) Blade(id int) *Blade {
 	return c.Blades[id]
 }
 
+// admit is the QoS front door, run before an op's trace root opens or its
+// latency clock starts: it stamps the caller's lane from the op's cache
+// priority (preserving an explicit background tag and any tenant name the
+// client set via qos.SetCtx), then charges the tenant's token bucket —
+// possibly sleeping for tokens, possibly shedding with qos.ErrThrottled.
+// Sheds are the contract working, so they bypass the Errors counter and
+// the latency histogram. Without a QoS config the stamp still happens
+// (the lane gauges are always live) and admission is free.
+func (c *Cluster) admit(p *sim.Proc, priority, count int) error {
+	qctx := qos.FromProc(p)
+	if qctx.Lane != qos.LaneBackground {
+		qctx.Lane = qos.ClampLane(priority)
+	}
+	qos.SetCtx(p, qctx)
+	if c.QoS == nil {
+		return nil
+	}
+	return c.QoS.Admit(p, qctx.Tenant, count)
+}
+
 // Read reads count blocks of volume vol at lba through blade b, running
 // per-block coherence operations in parallel.
 func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, priority int) ([]byte, error) {
 	if b == nil || b.Down {
 		c.Errors++
 		return nil, errors.New("controller: blade unavailable")
+	}
+	if err := c.admit(p, priority, count); err != nil {
+		return nil, err
 	}
 	var root *trace.Active
 	if c.Cfg.Tracer.Enabled() {
@@ -446,6 +500,9 @@ func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []by
 		return fmt.Errorf("controller: write of %d bytes not block-aligned", len(data))
 	}
 	count := len(data) / bs
+	if err := c.admit(p, priority, count); err != nil {
+		return err
+	}
 	var root *trace.Active
 	if c.Cfg.Tracer.Enabled() {
 		root = c.Cfg.Tracer.StartTrace("write", trace.Op, fmt.Sprintf("blade%d", b.ID))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/qos"
 	"repro/internal/sim"
 )
 
@@ -127,6 +128,9 @@ func (c *Cluster) DistributedRebuild(p *sim.Proc, g int, diskIdx int) error {
 		grp.Add(1)
 		c.K.Go(fmt.Sprintf("rebuild/blade%d", b.ID), func(q *sim.Proc) {
 			defer grp.Done()
+			// Rebuild is the canonical §2.4 background service: its CPU
+			// charges and disk I/O compete in the background lane.
+			qos.TagBackground(q)
 			for {
 				if b.Down || next >= chunks {
 					return
@@ -209,6 +213,7 @@ func (c *Cluster) DistributedScrub(p *sim.Proc) (int64, error) {
 		grp.Add(1)
 		c.K.Go(fmt.Sprintf("scrub/blade%d", b.ID), func(q *sim.Proc) {
 			defer grp.Done()
+			qos.TagBackground(q)
 			for {
 				if b.Down || next >= len(jobs) || firstErr != nil {
 					return

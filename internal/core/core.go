@@ -17,6 +17,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/georepl"
 	"repro/internal/pfs"
+	"repro/internal/qos"
 	"repro/internal/raid"
 	"repro/internal/security"
 	"repro/internal/sim"
@@ -89,6 +90,14 @@ type Options struct {
 	// BalanceConfig overrides the rebalancer's thresholds and pacing
 	// (zero fields mirror the hot-spot watchdog defaults).
 	BalanceConfig balance.Config
+	// QoS, when non-nil, builds the multi-tenant admission-control and
+	// weighted-fair scheduling subsystem (System.QoS): per-tenant token
+	// buckets at the controller front door and priority lanes at every
+	// disk and blade CPU, with a feedback governor attached when Telemetry
+	// is also on (the governor's P99 target defaults to SLOReadP99). The
+	// subsystem starts disabled; System.QoS.SetEnabled (yottactl `qos on`)
+	// flips it.
+	QoS *qos.Config
 }
 
 func (o *Options) fillDefaults() {
@@ -138,6 +147,8 @@ type System struct {
 	// Balancer is non-nil when Options.Balance was set; it is already
 	// started and is stopped by System.Stop.
 	Balancer *balance.Controller
+	// QoS is non-nil when Options.QoS was set; it starts disabled.
+	QoS *qos.Manager
 
 	stopScrape  func()
 	stopBalance func()
@@ -164,6 +175,7 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 	cfg.DiskSpec = opts.DiskSpec
 	cfg.FabricRetry = opts.FabricRetry
 	cfg.FabricFaults = opts.FabricFaults
+	cfg.QoS = opts.QoS
 	var tracer *trace.Tracer
 	if opts.Trace {
 		tracer = trace.NewTracer(k)
@@ -208,7 +220,7 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 		EncThroughputBps: opts.EncThroughputBps,
 	})
 	sys := &System{K: k, Cluster: cluster, FS: fs, Auth: auth, Mask: mask, Gateway: gw,
-		Tracer: tracer, Registry: cluster.Reg}
+		Tracer: tracer, Registry: cluster.Reg, QoS: cluster.QoS}
 	if opts.Telemetry > 0 {
 		sys.Scraper = telemetry.NewScraper(k, cluster.Reg, opts.Telemetry)
 		sys.Scraper.Tracer = tracer
@@ -220,6 +232,15 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 			Errors:   "cluster/errors",
 			Degraded: "cluster/degraded_ops",
 		})
+		if sys.QoS != nil {
+			// The governor defends the same objective the SLO watchdog
+			// enforces, pre-empting it at NearFrac of the threshold.
+			gcfg := opts.QoS.Governor
+			if gcfg.P99Target == 0 {
+				gcfg.P99Target = opts.SLOReadP99
+			}
+			sys.Scraper.AddWatchdog(sys.QoS.AttachGovernor(gcfg))
+		}
 		sys.stopScrape = sys.Scraper.Start()
 	}
 	if opts.Balance {
@@ -271,6 +292,9 @@ func (s *System) Run(horizon sim.Duration, body func(p *sim.Proc) error) error {
 type VolumeTarget struct {
 	Cluster *controller.Cluster
 	Vol     string
+	// Priority is the cache/QoS priority every op carries (0..3); the QoS
+	// front door maps it onto the foreground scheduling lane.
+	Priority int
 	// data reused for writes (content is irrelevant to the workload).
 	scratch []byte
 }
@@ -280,7 +304,7 @@ func (t *VolumeTarget) BlockSize() int { return t.Cluster.BlockSize() }
 
 // Read implements workload.Target.
 func (t *VolumeTarget) Read(p *sim.Proc, lba int64, blocks int) error {
-	_, err := t.Cluster.ReadBlocks(p, t.Vol, lba, blocks, 0)
+	_, err := t.Cluster.ReadBlocks(p, t.Vol, lba, blocks, t.Priority)
 	return err
 }
 
@@ -293,7 +317,7 @@ func (t *VolumeTarget) Write(p *sim.Proc, lba int64, blocks int) error {
 			t.scratch[i] = byte(i)
 		}
 	}
-	return t.Cluster.WriteBlocks(p, t.Vol, lba, t.scratch[:need], 0, 0)
+	return t.Cluster.WriteBlocks(p, t.Vol, lba, t.scratch[:need], t.Priority, 0)
 }
 
 // GeoOptions describes a multi-site federation of Systems.

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -55,6 +56,11 @@ type Stats struct {
 	BytesWritten  int64
 	Busy          sim.Duration
 	QueueMax      int
+	// LaneQueued and LaneQueueMax break queue occupancy down by QoS lane
+	// (foreground 0..3, background last) — the signal E13's skew tables
+	// and `yottactl top` use to show who is occupying the drive.
+	LaneQueued   [qos.NumLanes]int
+	LaneQueueMax [qos.NumLanes]int
 }
 
 // Disk is one simulated drive. All I/O is performed by simulation processes
@@ -65,6 +71,7 @@ type Disk struct {
 	k       *sim.Kernel
 	store   map[int64][]byte
 	gate    *sim.Semaphore
+	sched   *qos.FairQueue
 	queued  int
 	lastEnd int64 // next sequential LBA; -1 forces a seek
 	failed  bool
@@ -99,6 +106,10 @@ func (d *Disk) Stats() Stats { return d.stats }
 // the instantaneous load signal the telemetry stall detector watches.
 func (d *Disk) QueueDepth() int { return d.queued }
 
+// SetScheduler installs a QoS fair queue in place of the drive's FIFO
+// gate. Must be called before any I/O is issued; a nil q restores FIFO.
+func (d *Disk) SetScheduler(q *qos.FairQueue) { d.sched = q }
+
 // RegisterTelemetry publishes the drive's counters under s (reads, writes,
 // bytes, busy time, live and high-water queue depth).
 func (d *Disk) RegisterTelemetry(s telemetry.Scope) {
@@ -109,6 +120,12 @@ func (d *Disk) RegisterTelemetry(s telemetry.Scope) {
 	s.Func("busy_ms", func() float64 { return d.stats.Busy.Millis() })
 	s.Int("queue_depth", func() int64 { return int64(d.queued) })
 	s.Int("queue_max", func() int64 { return int64(d.stats.QueueMax) })
+	for i := 0; i < qos.NumLanes; i++ {
+		i := i
+		ls := s.Sub(fmt.Sprintf("lane/%d", i))
+		ls.Int("queue_depth", func() int64 { return int64(d.stats.LaneQueued[i]) })
+		ls.Int("queue_max", func() int64 { return int64(d.stats.LaneQueueMax[i]) })
+	}
 	s.Int("failed", func() int64 {
 		if d.failed {
 			return 1
@@ -160,26 +177,45 @@ func (d *Disk) serviceTime(lba int64, count int) sim.Duration {
 	return t
 }
 
-func (d *Disk) acquire(p *sim.Proc) {
+// acquire waits for the drive, competing in the caller's QoS lane when a
+// scheduler is installed (FIFO gate otherwise). The lane gauges update
+// unconditionally — they are pure counters, moving no simulated events —
+// and the returned lane is handed back to release.
+func (d *Disk) acquire(p *sim.Proc, cost int) int {
+	lane := qos.LaneOf(p)
 	d.queued++
 	if d.queued > d.stats.QueueMax {
 		d.stats.QueueMax = d.queued
 	}
-	d.gate.Acquire(p, 1)
+	d.stats.LaneQueued[lane]++
+	if d.stats.LaneQueued[lane] > d.stats.LaneQueueMax[lane] {
+		d.stats.LaneQueueMax[lane] = d.stats.LaneQueued[lane]
+	}
+	if d.sched != nil {
+		d.sched.Acquire(p, lane, float64(cost))
+	} else {
+		d.gate.Acquire(p, 1)
+	}
+	return lane
 }
 
-func (d *Disk) release() {
+func (d *Disk) release(lane int) {
 	d.queued--
-	d.gate.Release(1)
+	d.stats.LaneQueued[lane]--
+	if d.sched != nil {
+		d.sched.Release()
+	} else {
+		d.gate.Release(1)
+	}
 }
 
 // Read returns count blocks starting at lba. Unwritten blocks read as
 // zeros. The calling process blocks for queueing plus service time.
 func (d *Disk) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
 	qs := trace.FromProc(p).Child("disk-queue", trace.Queue, d.id)
-	d.acquire(p)
+	lane := d.acquire(p, count)
 	qs.End()
-	defer d.release()
+	defer d.release(lane)
 	if err := d.check(lba, count); err != nil {
 		return nil, err
 	}
@@ -210,9 +246,9 @@ func (d *Disk) Write(p *sim.Proc, lba int64, data []byte) error {
 	}
 	count := len(data) / d.spec.BlockSize
 	qs := trace.FromProc(p).Child("disk-queue", trace.Queue, d.id)
-	d.acquire(p)
+	lane := d.acquire(p, count)
 	qs.End()
-	defer d.release()
+	defer d.release(lane)
 	if err := d.check(lba, count); err != nil {
 		return err
 	}

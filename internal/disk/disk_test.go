@@ -6,7 +6,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/qos"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func testSpec() Spec {
@@ -307,5 +309,78 @@ func TestParallelDisksOverlap(t *testing.T) {
 	single := 8*sim.Millisecond + sim.Duration(float64(64*4096*8)/400e6*float64(sim.Second))
 	if finish.Sub(0) > single+sim.Millisecond {
 		t.Fatalf("two parallel disks took %v, want ~%v", finish.Sub(0), single)
+	}
+}
+
+// TestLaneGauges: the per-lane queue gauges track tagged processes through
+// acquire/release — live depth returns to zero, high-water marks record
+// the contention peak per lane, telemetry exports both.
+func TestLaneGauges(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := New(k, "d0", testSpec())
+	reg := telemetry.NewRegistry()
+	d.RegisterTelemetry(reg.Sub("disk/d0"))
+	// Three lane-2 readers and two background readers pile up behind the
+	// single spindle.
+	for i := 0; i < 3; i++ {
+		k.Go("fg", func(p *sim.Proc) {
+			qos.SetCtx(p, qos.Ctx{Tenant: "t", Lane: 2})
+			d.Read(p, 0, 1)
+		})
+	}
+	for i := 0; i < 2; i++ {
+		k.Go("bg", func(p *sim.Proc) {
+			qos.TagBackground(p)
+			d.Read(p, 500, 1)
+		})
+	}
+	k.Run()
+	st := d.Stats()
+	if st.LaneQueueMax[2] != 3 {
+		t.Errorf("lane 2 high-water = %d, want 3", st.LaneQueueMax[2])
+	}
+	if st.LaneQueueMax[qos.LaneBackground] != 2 {
+		t.Errorf("background high-water = %d, want 2", st.LaneQueueMax[qos.LaneBackground])
+	}
+	for lane, q := range st.LaneQueued {
+		if q != 0 {
+			t.Errorf("lane %d live depth = %d after drain, want 0", lane, q)
+		}
+	}
+	// Untouched lanes never registered occupancy.
+	if st.LaneQueueMax[0] != 0 || st.LaneQueueMax[1] != 0 || st.LaneQueueMax[3] != 0 {
+		t.Errorf("idle lanes recorded occupancy: %v", st.LaneQueueMax)
+	}
+	// And the registry mirrors the same numbers.
+	if v, ok := reg.Value("disk/d0/lane/2/queue_max"); !ok || v != 3 {
+		t.Errorf("telemetry lane/2/queue_max = %v (ok=%v), want 3", v, ok)
+	}
+	if v, ok := reg.Value("disk/d0/lane/4/queue_depth"); !ok || v != 0 {
+		t.Errorf("telemetry lane/4/queue_depth = %v (ok=%v), want 0", v, ok)
+	}
+}
+
+// TestLaneGaugesWithScheduler: same accounting when a QoS FairQueue
+// replaces the FIFO gate.
+func TestLaneGaugesWithScheduler(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := New(k, "d0", testSpec())
+	m := qos.NewManager(k, qos.Config{})
+	d.SetScheduler(m.NewFairQueue(1))
+	m.SetEnabled(true)
+	for i := 0; i < 4; i++ {
+		lane := i % 2 // lanes 0 and 1
+		k.Go("op", func(p *sim.Proc) {
+			qos.SetCtx(p, qos.Ctx{Lane: lane})
+			d.Read(p, int64(lane)*100, 1)
+		})
+	}
+	k.Run()
+	st := d.Stats()
+	if st.LaneQueueMax[0] != 2 || st.LaneQueueMax[1] != 2 {
+		t.Errorf("lane high-water = %v, want 2/2 on lanes 0,1", st.LaneQueueMax)
+	}
+	if st.Reads != 4 {
+		t.Errorf("reads = %d, want 4", st.Reads)
 	}
 }

@@ -153,6 +153,7 @@ func All(seed int64) []*metrics.Table {
 		E10(seed),
 		E11(seed),
 		E12(seed),
+		E13(seed),
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/qos"
 	"strconv"
 	"strings"
 	"testing"
@@ -302,5 +303,56 @@ func TestE11LossyFabricDeterministic(t *testing.T) {
 	// duplicates, retries, sparkline and all.
 	if again := E11(1); again.String() != tab.String() {
 		t.Fatalf("E11 not deterministic across runs with the same seed:\n--- run 1\n%s\n--- run 2\n%s", tab, again)
+	}
+}
+
+// TestE13Isolation checks the experiment's acceptance claims at full
+// scale: the contended-without-QoS ablation demonstrably violates the
+// victim bound (the premise), QoS brings the victim's p99 back within
+// e13VictimRatioMax of solo, the aggressor is actually shaped (delays and
+// sheds both observed), aggregate client throughput is not sacrificed,
+// and the rebuild still completes in both contended arms.
+func TestE13Isolation(t *testing.T) {
+	skipIfShort(t)
+	r := RunE13(1)
+	if r.VictimRatioOff <= r.RatioMax {
+		t.Fatalf("QoS-off ablation shows no interference (victim p99 ratio %.2f vs bound %.2f); premise broken",
+			r.VictimRatioOff, r.RatioMax)
+	}
+	if r.VictimRatioOn > r.RatioMax {
+		t.Fatalf("QoS-on victim p99 ratio %.2f exceeds bound %.2f (solo %.3fms, contended %.3fms)",
+			r.VictimRatioOn, r.RatioMax, r.Solo.VictimP99.Millis(), r.On.VictimP99.Millis())
+	}
+	if r.On.Throttled == 0 || r.On.Delayed == 0 {
+		t.Fatalf("aggressor bucket never bound: delayed %d, throttled %d", r.On.Delayed, r.On.Throttled)
+	}
+	if r.AggregateFrac < r.AggregateMin {
+		t.Fatalf("QoS-on aggregate ops/s is %.1f%% of QoS-off, want ≥ %.0f%%",
+			100*r.AggregateFrac, 100*r.AggregateMin)
+	}
+	if r.On.RebuildMs <= 0 || r.Off.RebuildMs <= 0 {
+		t.Fatalf("rebuild did not complete in a contended arm: on %.1fms off %.1fms",
+			r.On.RebuildMs, r.Off.RebuildMs)
+	}
+	// The governor must have actually defended the SLO at least once, and
+	// background work must have flowed through its lane.
+	if r.On.Narrows == 0 {
+		t.Fatalf("governor never narrowed the background lane: %+v", r.On)
+	}
+	if r.On.Lanes[qos.LaneBackground].Dispatched == 0 {
+		t.Fatalf("no background-lane dispatches despite a concurrent rebuild: %+v", r.On.Lanes)
+	}
+}
+
+// TestE13Deterministic: two same-seed runs must render byte-identical
+// tables — governor decisions, throttle counters, lane stats and all.
+// The reduced scale exercises the identical code path at a fraction of
+// the full experiment's runtime.
+func TestE13Deterministic(t *testing.T) {
+	skipIfShort(t)
+	a := E13Q(1).String()
+	b := E13Q(1).String()
+	if a != b {
+		t.Fatalf("E13 not deterministic across runs with the same seed:\n--- run 1\n%s\n--- run 2\n%s", a, b)
 	}
 }

@@ -26,6 +26,22 @@ type BalanceSummary struct {
 	Migrations        int64   `json:"migrations"`
 }
 
+// QoSSummary condenses E13 — multi-tenant isolation — into the perf
+// record: the victim tenant's p99 alone, contended with QoS, and
+// contended without it, plus the aggressor's admission counters.
+type QoSSummary struct {
+	VictimSoloP99Ms float64 `json:"victim_solo_p99_ms"`
+	VictimOnP99Ms   float64 `json:"victim_on_p99_ms"`
+	VictimOffP99Ms  float64 `json:"victim_off_p99_ms"`
+	VictimRatioOn   float64 `json:"victim_ratio_on"`
+	VictimRatioOff  float64 `json:"victim_ratio_off"`
+	AggregateFrac   float64 `json:"aggregate_frac"`
+	Throttled       int64   `json:"throttled"`
+	Delayed         int64   `json:"delayed"`
+	GovernorNarrows int64   `json:"governor_narrows"`
+	GovernorWidens  int64   `json:"governor_widens"`
+}
+
 // Snapshot is the machine-readable perf record benchrunner writes per PR
 // (BENCH_PRn.json), so the bench trajectory across PRs stays comparable:
 // canonical traced workload, per-phase latency quantiles, throughput.
@@ -40,18 +56,21 @@ type Snapshot struct {
 	P99Ms     float64                   `json:"p99_ms"`
 	Phases    map[string]PhaseQuantiles `json:"phases"`
 	Balance   BalanceSummary            `json:"balance"`
+	QoS       QoSSummary                `json:"qos"`
 }
 
 // PerfSnapshot runs the canonical snapshot workload — an 8-blade cluster
 // under a mixed read/write closed loop with tracing on — and returns the
-// per-phase summary plus the E12 balance summary. Deterministic per seed.
-func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true) }
+// per-phase summary plus the E12 balance and E13 QoS summaries.
+// Deterministic per seed.
+func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true, true) }
 
-// perfSnapshot optionally skips the E12 arm: the snapshot tests double-run
-// the builder to prove determinism, and paying for a second full E12 there
-// would duplicate what TestE12Deterministic already asserts while pushing
-// the package past the default go-test timeout.
-func perfSnapshot(seed int64, withBalance bool) Snapshot {
+// perfSnapshot optionally skips the E12 and E13 arms: the snapshot tests
+// double-run the builder to prove determinism, and paying for second full
+// E12/E13 runs there would duplicate what TestE12Deterministic and
+// TestE13Deterministic already assert while pushing the package past the
+// default go-test timeout.
+func perfSnapshot(seed int64, withBalance, withQoS bool) Snapshot {
 	const (
 		blades  = 8
 		clients = 32
@@ -115,6 +134,21 @@ func perfSnapshot(seed int64, withBalance bool) Snapshot {
 			StaticCV:          e12.Static.CV,
 			BalancedCV:        e12.Balanced.CV,
 			Migrations:        e12.Migrations,
+		}
+	}
+	if withQoS {
+		e13 := RunE13(seed)
+		snap.QoS = QoSSummary{
+			VictimSoloP99Ms: e13.Solo.VictimP99.Millis(),
+			VictimOnP99Ms:   e13.On.VictimP99.Millis(),
+			VictimOffP99Ms:  e13.Off.VictimP99.Millis(),
+			VictimRatioOn:   e13.VictimRatioOn,
+			VictimRatioOff:  e13.VictimRatioOff,
+			AggregateFrac:   e13.AggregateFrac,
+			Throttled:       e13.On.Throttled,
+			Delayed:         e13.On.Delayed,
+			GovernorNarrows: e13.On.Narrows,
+			GovernorWidens:  e13.On.Widens,
 		}
 	}
 	return snap

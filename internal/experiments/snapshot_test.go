@@ -8,16 +8,16 @@ import (
 // TestPerfSnapshotDeterministic is the golden-file property for the
 // BENCH_PRn.json artifact: same-seed runs must serialize byte-identically,
 // or the bench trajectory across PRs measures noise instead of code. The
-// E12 balance arm is skipped here — its determinism is asserted by
-// TestE12Deterministic, and a second full E12 run would blow the package's
-// test-time budget.
+// E12 balance and E13 QoS arms are skipped here — their determinism is
+// asserted by TestE12Deterministic and TestE13Deterministic, and second
+// full runs would blow the package's test-time budget.
 func TestPerfSnapshotDeterministic(t *testing.T) {
 	skipIfShort(t)
-	a, err := json.MarshalIndent(perfSnapshot(1, false), "", "  ")
+	a, err := json.MarshalIndent(perfSnapshot(1, false, false), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := json.MarshalIndent(perfSnapshot(1, false), "", "  ")
+	b, err := json.MarshalIndent(perfSnapshot(1, false, false), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestPerfSnapshotDeterministic(t *testing.T) {
 
 func TestPerfSnapshotShape(t *testing.T) {
 	skipIfShort(t)
-	snap := perfSnapshot(2, false)
+	snap := perfSnapshot(2, false, false)
 	if snap.Ops <= 0 {
 		t.Fatalf("snapshot ran no ops: %+v", snap)
 	}

@@ -63,8 +63,9 @@ type GeoPolicy struct {
 // Policy is the per-file metadata of §4. The zero value means "inherit
 // every default".
 type Policy struct {
-	// CachePriority overrides cache retention (0..3; higher survives
-	// eviction longer).
+	// CachePriority overrides cache retention and QoS lane (0..3; higher
+	// survives eviction longer and wins more fair-queue share). Values
+	// outside the range are clamped at Create/SetPolicy time.
 	CachePriority int
 	// ReplicationN overrides the controller-level write-back fault
 	// tolerance (0 = cluster default).
@@ -289,8 +290,23 @@ func joinPath(dir, name string) string {
 	return dir + "/" + name
 }
 
+// clampPolicy normalizes out-of-range policy fields at the metadata
+// boundary: CachePriority's documented range is 0..3, and everything
+// below pfs (cache lanes, QoS scheduling lanes) indexes arrays with it,
+// so an unchecked value must not get past Create/SetPolicy.
+func clampPolicy(policy Policy) Policy {
+	if policy.CachePriority < 0 {
+		policy.CachePriority = 0
+	}
+	if policy.CachePriority > 3 {
+		policy.CachePriority = 3
+	}
+	return policy
+}
+
 // Create makes a new empty file with the given policy.
 func (fs *FS) Create(path string, policy Policy) (*Inode, error) {
+	policy = clampPolicy(policy)
 	if policy.Class != "" && fs.classes[policy.Class] == "" {
 		return nil, fmt.Errorf("%w: %q", ErrNoClass, policy.Class)
 	}
@@ -367,6 +383,7 @@ func (fs *FS) List(path string) ([]string, error) {
 // I/O and (for Class) subsequent allocations — "the file behavior can
 // easily be changed at any time" (§7.2).
 func (fs *FS) SetPolicy(path string, policy Policy) error {
+	policy = clampPolicy(policy)
 	if policy.Class != "" && fs.classes[policy.Class] == "" {
 		return fmt.Errorf("%w: %q", ErrNoClass, policy.Class)
 	}

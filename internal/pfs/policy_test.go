@@ -1,0 +1,40 @@
+package pfs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCachePriorityClamped is the regression test for the policy-metadata
+// boundary: CachePriority's documented range is 0..3, and the cache lanes
+// and QoS scheduling lanes below pfs index arrays with it, so Create,
+// SetPolicy and WriteFile must never let an out-of-range value through.
+func TestCachePriorityClamped(t *testing.T) {
+	fs, io, k := newTestFS(t)
+	runFS(k, func(p *sim.Proc) {
+		if _, err := fs.Create("/hot", Policy{CachePriority: 7}); err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if pol, _ := fs.Policy("/hot"); pol.CachePriority != 3 {
+			t.Errorf("Create clamped to %d, want 3", pol.CachePriority)
+		}
+		if err := fs.SetPolicy("/hot", Policy{CachePriority: -2}); err != nil {
+			t.Fatalf("setpolicy: %v", err)
+		}
+		if pol, _ := fs.Policy("/hot"); pol.CachePriority != 0 {
+			t.Errorf("SetPolicy clamped to %d, want 0", pol.CachePriority)
+		}
+		// WriteFile creates the file if absent; the priority that reaches
+		// the block layer must already be clamped.
+		if err := fs.WriteFile(p, "/burst", []byte("data"), Policy{CachePriority: 99}); err != nil {
+			t.Fatalf("writefile: %v", err)
+		}
+		if got := io.lastPrio["vol.default"]; got != 3 {
+			t.Errorf("block layer saw priority %d, want 3", got)
+		}
+		if pol, _ := fs.Policy("/burst"); pol.CachePriority != 3 {
+			t.Errorf("WriteFile stored priority %d, want 3", pol.CachePriority)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package qos
+
+import (
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Admission is the front-door token-bucket stage: one GCRA (generic cell
+// rate algorithm) bucket per configured tenant, refilled by virtual time.
+// A conforming op passes immediately; an over-rate op reserves the next
+// emission slot and sleeps until it, up to the tenant's MaxQueue
+// outstanding waiters; beyond that arrivals shed with ErrThrottled so the
+// wait queue stays bounded.
+//
+// GCRA keeps one theoretical-arrival-time (TAT) per tenant instead of a
+// fractional token count, so refill is exact integer virtual-time
+// arithmetic — no float drift, byte-identical same-seed runs.
+type Admission struct {
+	k       *sim.Kernel
+	enabled bool
+	names   []string
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	spec TenantSpec
+	// tat is the theoretical arrival time of the next conforming op.
+	tat sim.Time
+	// waiting counts ops currently sleeping for tokens.
+	waiting int
+
+	admitted  int64
+	delayed   int64
+	throttled int64
+	waitTime  sim.Duration
+}
+
+// TenantStats is one tenant's admission counters for reports and E13.
+type TenantStats struct {
+	Tenant    string
+	Rate      float64
+	Burst     float64
+	MaxQueue  int
+	Admitted  int64
+	Delayed   int64
+	Throttled int64
+	Waiting   int
+	WaitMs    float64
+}
+
+// NewAdmission builds the stage (initially disabled) from the tenant
+// specs. Tenants with Rate <= 0 are pass-through.
+func NewAdmission(k *sim.Kernel, specs map[string]TenantSpec) *Admission {
+	a := &Admission{k: k, buckets: make(map[string]*bucket), names: sortedTenants(specs)}
+	for _, n := range a.names {
+		a.buckets[n] = &bucket{spec: specs[n]}
+	}
+	return a
+}
+
+// SetEnabled flips the stage; disabled, Admit admits everything instantly.
+func (a *Admission) SetEnabled(on bool) { a.enabled = on }
+
+// Admit charges cost units (blocks) against tenant's bucket from process
+// p. It returns nil once admitted — possibly after sleeping in virtual
+// time — or ErrThrottled when the tenant's wait queue is full. Unknown
+// and unlimited tenants pass through untouched.
+func (a *Admission) Admit(p *sim.Proc, tenant string, cost int) error {
+	if !a.enabled {
+		return nil
+	}
+	b, ok := a.buckets[tenant]
+	if !ok || b.spec.Rate <= 0 {
+		return nil
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	// Emission interval for this op and the bucket's burst tolerance,
+	// both in virtual time.
+	t := sim.Duration(float64(cost) / b.spec.Rate * float64(sim.Second))
+	tau := sim.Duration(b.spec.Burst / b.spec.Rate * float64(sim.Second))
+	now := p.Now()
+	earliest := b.tat.Add(-tau)
+	if now >= earliest {
+		// Conforming: consume and go.
+		if now > b.tat {
+			b.tat = now
+		}
+		b.tat = b.tat.Add(t)
+		b.admitted++
+		return nil
+	}
+	if b.waiting >= b.spec.MaxQueue {
+		b.throttled++
+		return ErrThrottled
+	}
+	// Reserve the next emission slot now so later arrivals queue behind
+	// it, then sleep until the slot conforms.
+	b.tat = b.tat.Add(t)
+	wait := earliest.Sub(now)
+	b.waiting++
+	p.Sleep(wait)
+	b.waiting--
+	b.admitted++
+	b.delayed++
+	b.waitTime += wait
+	return nil
+}
+
+// Stats returns per-tenant counters in sorted tenant order.
+func (a *Admission) Stats() []TenantStats {
+	out := make([]TenantStats, 0, len(a.names))
+	for _, n := range a.names {
+		b := a.buckets[n]
+		out = append(out, TenantStats{
+			Tenant:    n,
+			Rate:      b.spec.Rate,
+			Burst:     b.spec.Burst,
+			MaxQueue:  b.spec.MaxQueue,
+			Admitted:  b.admitted,
+			Delayed:   b.delayed,
+			Throttled: b.throttled,
+			Waiting:   b.waiting,
+			WaitMs:    b.waitTime.Millis(),
+		})
+	}
+	return out
+}
+
+// Throttled returns tenant's shed count (0 for unknown tenants).
+func (a *Admission) Throttled(tenant string) int64 {
+	if b, ok := a.buckets[tenant]; ok {
+		return b.throttled
+	}
+	return 0
+}
+
+// registerTelemetry publishes per-tenant counters under s
+// (<tenant>/{admitted,delayed,throttled,waiting}).
+func (a *Admission) registerTelemetry(s telemetry.Scope) {
+	for _, n := range a.names {
+		b := a.buckets[n]
+		ts := s.Sub(n)
+		ts.Int("admitted", func() int64 { return b.admitted })
+		ts.Int("delayed", func() int64 { return b.delayed })
+		ts.Int("throttled", func() int64 { return b.throttled })
+		ts.Int("waiting", func() int64 { return int64(b.waiting) })
+	}
+}

@@ -1,0 +1,204 @@
+package qos
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// minBackgroundWeight is the floor the governor may squeeze the
+// background lane down to: it never starves background work entirely,
+// only slows it.
+const minBackgroundWeight = 0.05
+
+// GovernorConfig tunes the feedback loop between the telemetry scraper
+// and the background lane's WFQ weight.
+type GovernorConfig struct {
+	// Hist names the latency histogram to watch (default
+	// "cluster/op_latency").
+	Hist string
+	// P99Target is the foreground latency objective the governor defends
+	// (typically the SLO watchdog's own threshold). 0 disables the
+	// latency signal.
+	P99Target sim.Duration
+	// NearFrac is the fraction of P99Target at which the governor starts
+	// narrowing, before the SLO watchdog actually fires (default 0.8).
+	NearFrac float64
+	// QueuePattern matches per-disk queue-depth gauges (default
+	// "disk/*/queue_depth").
+	QueuePattern string
+	// QueueHigh is the mean per-disk queue depth that also counts as
+	// pressure (default 6; 0 keeps the default, negative disables).
+	QueueHigh float64
+	// MinCount is the fewest window samples needed to judge the p99
+	// (default 16).
+	MinCount int64
+	// CalmWindows is how many consecutive unpressured windows earn a
+	// widen step (default 2).
+	CalmWindows int
+	// BGMax is the widest background weight the governor restores to
+	// (default 1).
+	BGMax float64
+	// BGMin is the narrowest it squeezes to (default 0.05).
+	BGMin float64
+}
+
+func (c GovernorConfig) hist() string {
+	if c.Hist == "" {
+		return "cluster/op_latency"
+	}
+	return c.Hist
+}
+
+func (c GovernorConfig) nearFrac() float64 {
+	if c.NearFrac <= 0 {
+		return 0.8
+	}
+	return c.NearFrac
+}
+
+func (c GovernorConfig) queuePattern() string {
+	if c.QueuePattern == "" {
+		return "disk/*/queue_depth"
+	}
+	return c.QueuePattern
+}
+
+func (c GovernorConfig) queueHigh() float64 {
+	if c.QueueHigh == 0 {
+		return 6
+	}
+	return c.QueueHigh
+}
+
+func (c GovernorConfig) minCount() int64 {
+	if c.MinCount <= 0 {
+		return 16
+	}
+	return c.MinCount
+}
+
+func (c GovernorConfig) calmWindows() int {
+	if c.CalmWindows <= 0 {
+		return 2
+	}
+	return c.CalmWindows
+}
+
+func (c GovernorConfig) bgMax() float64 {
+	if c.BGMax <= 0 {
+		return 1
+	}
+	return c.BGMax
+}
+
+func (c GovernorConfig) bgMin() float64 {
+	if c.BGMin <= 0 {
+		return minBackgroundWeight
+	}
+	return c.BGMin
+}
+
+// Governor is a telemetry.Watchdog that adaptively trades background
+// bandwidth for foreground latency: when the windowed foreground p99
+// nears the SLO (or disk queues run deep), it halves the background
+// lane's weight toward BGMin; after CalmWindows quiet windows it doubles
+// the weight back toward BGMax. Every decision is emitted as a watchdog
+// event, which the scraper mirrors into the trace stream — so governor
+// activity is visible in both `yottactl telemetry events` and trace
+// exports.
+//
+// Check is a pure function of the view and the governor's own state (the
+// windowed-p99 snapshot, the calm counter): no randomness, no virtual
+// time, so same-seed runs make identical decisions.
+type Governor struct {
+	cfg GovernorConfig
+	mgr *Manager
+
+	prevSnap metrics.HistogramSnapshot
+	haveSnap bool
+	calm     int
+
+	// Narrows and Widens count decisions, for telemetry and E13 notes.
+	Narrows int64
+	Widens  int64
+}
+
+// NewGovernor builds a governor driving mgr's background weight.
+func NewGovernor(cfg GovernorConfig, mgr *Manager) *Governor {
+	return &Governor{cfg: cfg, mgr: mgr}
+}
+
+// Rule implements telemetry.Watchdog.
+func (g *Governor) Rule() string { return "qos-governor" }
+
+// Check implements telemetry.Watchdog.
+func (g *Governor) Check(v *telemetry.View) []telemetry.Event {
+	if !g.mgr.Enabled() {
+		return nil
+	}
+	// Latency signal: windowed p99 against the near-threshold.
+	pressured := false
+	detail := ""
+	if g.cfg.P99Target > 0 {
+		if h := v.Reg.HistogramFor(g.cfg.hist()); h != nil {
+			if g.haveSnap && !v.First {
+				n := h.CountSince(g.prevSnap)
+				p99 := h.QuantileSince(g.prevSnap, 0.99)
+				limit := sim.Duration(float64(g.cfg.P99Target) * g.cfg.nearFrac())
+				if n >= g.cfg.minCount() && p99 > limit {
+					pressured = true
+					detail = fmt.Sprintf("window p99 %.3fms > %.3fms (%.0f%% of SLO, %d ops)",
+						p99.Millis(), limit.Millis(), g.cfg.nearFrac()*100, n)
+				}
+			}
+			g.prevSnap = h.Snapshot()
+			g.haveSnap = true
+		}
+	}
+	// Queue signal: mean per-disk queue depth.
+	if !pressured && g.cfg.queueHigh() > 0 {
+		if names := v.Reg.Match(g.cfg.queuePattern()); len(names) > 0 {
+			sum := 0.0
+			for _, n := range names {
+				sum += v.Value(n)
+			}
+			mean := sum / float64(len(names))
+			if mean >= g.cfg.queueHigh() {
+				pressured = true
+				detail = fmt.Sprintf("mean disk queue depth %.1f >= %.1f", mean, g.cfg.queueHigh())
+			}
+		}
+	}
+
+	cur := g.mgr.BackgroundWeight()
+	if pressured {
+		g.calm = 0
+		if cur > g.cfg.bgMin() {
+			next := cur / 2
+			if next < g.cfg.bgMin() {
+				next = g.cfg.bgMin()
+			}
+			g.mgr.SetBackgroundWeight(next)
+			g.Narrows++
+			return []telemetry.Event{{Rule: g.Rule(), Severity: "warn",
+				Detail: fmt.Sprintf("narrow background lane %.3g -> %.3g: %s", cur, next, detail)}}
+		}
+		return nil
+	}
+	g.calm++
+	if g.calm >= g.cfg.calmWindows() && cur < g.cfg.bgMax() {
+		g.calm = 0
+		next := cur * 2
+		if next > g.cfg.bgMax() {
+			next = g.cfg.bgMax()
+		}
+		g.mgr.SetBackgroundWeight(next)
+		g.Widens++
+		return []telemetry.Event{{Rule: g.Rule(), Severity: "info",
+			Detail: fmt.Sprintf("widen background lane %.3g -> %.3g after %d calm windows", cur, next, g.cfg.calmWindows())}}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// govHarness wires a Manager + Governor to a real registry holding the
+// latency histogram, and hand-builds telemetry views the way the scraper
+// would — the governor is a pure function of the view stream.
+type govHarness struct {
+	m    *Manager
+	g    *Governor
+	h    *metrics.Histogram
+	reg  *telemetry.Registry
+	tick int
+}
+
+func newGovHarness(t *testing.T, cfg GovernorConfig) *govHarness {
+	t.Helper()
+	k := sim.NewKernel(1)
+	m := NewManager(k, Config{})
+	m.NewFairQueue(1)
+	m.SetEnabled(true)
+	reg := telemetry.NewRegistry()
+	h := metrics.NewHistogram()
+	reg.Histogram("cluster/op_latency", h)
+	return &govHarness{m: m, g: m.AttachGovernor(cfg), h: h, reg: reg}
+}
+
+// check runs one scraper window: observe n latency samples, then Check.
+func (hs *govHarness) check(n int, d sim.Duration) []telemetry.Event {
+	for i := 0; i < n; i++ {
+		hs.h.Observe(d)
+	}
+	hs.tick++
+	v := &telemetry.View{
+		T:        sim.Time(0).Add(sim.Duration(hs.tick) * 100 * sim.Millisecond),
+		Interval: 100 * sim.Millisecond,
+		First:    hs.tick == 1,
+		Reg:      hs.reg,
+	}
+	return hs.g.Check(v)
+}
+
+// TestGovernorNarrowsUnderPressure: windowed p99 past NearFrac×target
+// halves the background weight each window down to BGMin, emitting a warn
+// event per step and counting Narrows.
+func TestGovernorNarrowsUnderPressure(t *testing.T) {
+	hs := newGovHarness(t, GovernorConfig{
+		P99Target: 10 * sim.Millisecond,
+		MinCount:  4,
+		QueueHigh: -1, // isolate the latency signal
+	})
+	if ev := hs.check(20, 50*sim.Millisecond); ev != nil {
+		t.Fatalf("first window judged without a baseline snapshot: %v", ev)
+	}
+	want := []float64{0.5, 0.25, 0.125}
+	for i, w := range want {
+		ev := hs.check(20, 50*sim.Millisecond)
+		if len(ev) != 1 || ev[0].Severity != "warn" || !strings.Contains(ev[0].Detail, "narrow") {
+			t.Fatalf("window %d: events = %+v, want one narrow warn", i, ev)
+		}
+		if got := hs.m.BackgroundWeight(); got != w {
+			t.Fatalf("window %d: bg weight %v, want %v", i, got, w)
+		}
+	}
+	// Keep squeezing: the weight floors at BGMin and events stop.
+	for i := 0; i < 10; i++ {
+		hs.check(20, 50*sim.Millisecond)
+	}
+	if got := hs.m.BackgroundWeight(); got != hs.g.cfg.bgMin() {
+		t.Errorf("bg weight %v, want floor %v", got, hs.g.cfg.bgMin())
+	}
+	if ev := hs.check(20, 50*sim.Millisecond); ev != nil {
+		t.Errorf("at the floor, still emitting: %+v", ev)
+	}
+	if hs.g.Narrows < 3 {
+		t.Errorf("Narrows = %d, want >= 3", hs.g.Narrows)
+	}
+}
+
+// TestGovernorWidensAfterCalm: CalmWindows quiet windows double the weight
+// back toward BGMax with an info event each step.
+func TestGovernorWidensAfterCalm(t *testing.T) {
+	hs := newGovHarness(t, GovernorConfig{
+		P99Target:   10 * sim.Millisecond,
+		MinCount:    4,
+		CalmWindows: 2,
+		QueueHigh:   -1,
+	})
+	hs.check(20, 50*sim.Millisecond) // baseline
+	hs.check(20, 50*sim.Millisecond) // narrow 1 -> 0.5
+	hs.check(20, 50*sim.Millisecond) // narrow 0.5 -> 0.25
+	if got := hs.m.BackgroundWeight(); got != 0.25 {
+		t.Fatalf("setup: bg weight %v, want 0.25", got)
+	}
+	// Calm: plenty of ops, all fast.
+	if ev := hs.check(20, 1*sim.Millisecond); ev != nil {
+		t.Fatalf("calm window 1 acted early: %+v", ev)
+	}
+	ev := hs.check(20, 1*sim.Millisecond)
+	if len(ev) != 1 || ev[0].Severity != "info" || !strings.Contains(ev[0].Detail, "widen") {
+		t.Fatalf("calm window 2: events = %+v, want one widen info", ev)
+	}
+	if got := hs.m.BackgroundWeight(); got != 0.5 {
+		t.Errorf("bg weight %v, want 0.5", got)
+	}
+	hs.check(20, 1*sim.Millisecond)
+	hs.check(20, 1*sim.Millisecond) // second calm pair: 0.5 -> 1
+	if got := hs.m.BackgroundWeight(); got != 1 {
+		t.Errorf("bg weight %v, want restored to 1", got)
+	}
+	if hs.g.Widens != 2 {
+		t.Errorf("Widens = %d, want 2", hs.g.Widens)
+	}
+	// Fully restored: calm windows stop emitting.
+	hs.check(20, 1*sim.Millisecond)
+	if ev := hs.check(20, 1*sim.Millisecond); ev != nil {
+		t.Errorf("at BGMax, still widening: %+v", ev)
+	}
+}
+
+// TestGovernorIgnoresThinWindows: fewer than MinCount samples must not
+// trigger a narrow, however slow they were — a two-op window is noise.
+func TestGovernorIgnoresThinWindows(t *testing.T) {
+	hs := newGovHarness(t, GovernorConfig{
+		P99Target: 10 * sim.Millisecond,
+		MinCount:  16,
+		QueueHigh: -1,
+	})
+	hs.check(2, 50*sim.Millisecond) // baseline
+	for i := 0; i < 4; i++ {
+		if ev := hs.check(2, 50*sim.Millisecond); ev != nil {
+			t.Fatalf("thin window %d narrowed: %+v", i, ev)
+		}
+	}
+	if got := hs.m.BackgroundWeight(); got != 1 {
+		t.Errorf("bg weight %v, want untouched 1", got)
+	}
+}
+
+// TestGovernorInertWhenDisabled: with the manager switched off the
+// governor neither acts nor counts, whatever the view says.
+func TestGovernorInertWhenDisabled(t *testing.T) {
+	hs := newGovHarness(t, GovernorConfig{
+		P99Target: 10 * sim.Millisecond,
+		MinCount:  4,
+		QueueHigh: -1,
+	})
+	hs.m.SetEnabled(false)
+	for i := 0; i < 3; i++ {
+		if ev := hs.check(20, 50*sim.Millisecond); ev != nil {
+			t.Fatalf("disabled governor emitted: %+v", ev)
+		}
+	}
+	if hs.g.Narrows != 0 || hs.m.BackgroundWeight() != 1 {
+		t.Errorf("disabled governor acted: narrows %d weight %v", hs.g.Narrows, hs.m.BackgroundWeight())
+	}
+}

@@ -1,0 +1,179 @@
+package qos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// wfqOp is one scripted acquire in the randomized schedules below.
+type wfqOp struct {
+	lane    int
+	arrive  sim.Duration
+	cost    float64
+	service sim.Duration
+}
+
+// runSchedule replays ops against a fresh capacity-1 FairQueue and returns
+// the grant order as lane indexes. Each op is its own process: it sleeps
+// to its arrival time, competes for the queue in its lane, holds the slot
+// for its service time, releases.
+func runSchedule(seed int64, enabled bool, ops []wfqOp) (order []int, makespan sim.Duration) {
+	k := sim.NewKernel(seed)
+	q := NewFairQueue(k, 1, DefaultWeights())
+	q.SetEnabled(enabled)
+	for i, op := range ops {
+		op := op
+		k.Go(fmt.Sprintf("op%d", i), func(p *sim.Proc) {
+			p.Sleep(op.arrive)
+			q.Acquire(p, op.lane, op.cost)
+			order = append(order, op.lane)
+			p.Sleep(op.service)
+			q.Release()
+		})
+	}
+	k.Run()
+	return order, sim.Duration(k.Now())
+}
+
+// randomSchedule builds a mixed-lane load: perLane ops in every lane, all
+// arriving inside a burst window far shorter than total service demand,
+// so every lane stays backlogged for most of the run.
+func randomSchedule(seed int64, perLane int) []wfqOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []wfqOp
+	for lane := 0; lane < NumLanes; lane++ {
+		for i := 0; i < perLane; i++ {
+			ops = append(ops, wfqOp{
+				lane:    lane,
+				arrive:  sim.Duration(rng.Intn(500)) * sim.Microsecond,
+				cost:    float64(1 + rng.Intn(4)),
+				service: sim.Duration(200+rng.Intn(200)) * sim.Microsecond,
+			})
+		}
+	}
+	return ops
+}
+
+// TestWFQNoStarvation: under sustained mixed-lane backlog, every lane with
+// waiters keeps making progress — the gap between a lane's consecutive
+// grants stays bounded (FIFO would let a burst of high-weight arrivals
+// push the rest out indefinitely; SFQ finish tags cannot).
+func TestWFQNoStarvation(t *testing.T) {
+	const perLane = 40
+	for seed := int64(1); seed <= 6; seed++ {
+		order, _ := runSchedule(seed, true, randomSchedule(seed, perLane))
+		if len(order) != perLane*NumLanes {
+			t.Fatalf("seed %d: %d grants, want %d", seed, len(order), perLane*NumLanes)
+		}
+		// Worst-case inter-grant gap for the min-weight lane competing with
+		// weights 1,2,4,8,1 and max cost 4: roughly sum(w)/min(w) * maxCost
+		// dispatches. 80 is a generous deterministic bound.
+		const maxGap = 80
+		last := map[int]int{}
+		granted := map[int]int{}
+		for i, lane := range order {
+			if prev, seen := last[lane]; seen && granted[lane] < perLane {
+				if gap := i - prev; gap > maxGap {
+					t.Fatalf("seed %d: lane %d starved for %d dispatches (pos %d)", seed, lane, gap, i)
+				}
+			}
+			last[lane] = i
+			granted[lane]++
+		}
+	}
+}
+
+// TestWFQDeterministic: the same seed must replay to the identical grant
+// sequence — the property every same-seed experiment rests on.
+func TestWFQDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		a, ma := runSchedule(seed, true, randomSchedule(seed, 30))
+		b, mb := runSchedule(seed, true, randomSchedule(seed, 30))
+		if ma != mb {
+			t.Fatalf("seed %d: makespans differ: %v vs %v", seed, ma, mb)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("seed %d: grant orders differ:\n%v\n%v", seed, a, b)
+		}
+	}
+}
+
+// TestWFQWorkConserving: with only one lane backlogged, weighting must not
+// cost any throughput — the makespan equals the plain-FIFO makespan, and
+// the slot is never idle while work waits.
+func TestWFQWorkConserving(t *testing.T) {
+	for lane := 0; lane < NumLanes; lane++ {
+		var ops []wfqOp
+		for i := 0; i < 50; i++ {
+			ops = append(ops, wfqOp{lane: lane, cost: 1, service: 300 * sim.Microsecond})
+		}
+		_, wfq := runSchedule(1, true, ops)
+		_, fifo := runSchedule(1, false, ops)
+		if wfq != fifo {
+			t.Fatalf("lane %d: WFQ makespan %v != FIFO makespan %v", lane, wfq, fifo)
+		}
+		if want := 50 * 300 * sim.Microsecond; wfq != want {
+			t.Fatalf("lane %d: slot went idle with work queued: makespan %v, want %v", lane, wfq, want)
+		}
+	}
+}
+
+// TestWFQWeightedShares: while every lane is continuously backlogged, the
+// grant counts over a window track the lane weights (the defining WFQ
+// property, loose tolerance for discretization).
+func TestWFQWeightedShares(t *testing.T) {
+	const perLane = 60
+	var ops []wfqOp
+	for lane := 0; lane < NumLanes; lane++ {
+		for i := 0; i < perLane; i++ {
+			ops = append(ops, wfqOp{lane: lane, cost: 1, service: 100 * sim.Microsecond})
+		}
+	}
+	order, _ := runSchedule(1, true, ops)
+	// Judge only the prefix where all lanes still have waiters: stop once
+	// any lane is exhausted.
+	counts := map[int]int{}
+	window := 0
+	for _, lane := range order {
+		counts[lane]++
+		window++
+		if counts[lane] == perLane {
+			break
+		}
+	}
+	w := DefaultWeights()
+	var totalW float64
+	for _, x := range w {
+		totalW += x
+	}
+	for lane := 0; lane < NumLanes; lane++ {
+		got := float64(counts[lane]) / float64(window)
+		want := w[lane] / totalW
+		if got < want*0.7-0.02 || got > want*1.3+0.02 {
+			t.Errorf("lane %d share %.3f, want ≈%.3f (counts %v over %d)", lane, got, want, counts, window)
+		}
+	}
+}
+
+// TestWFQDisabledIsFIFO: disabled, grants come in arrival order regardless
+// of lane — the pre-QoS semaphore behaviour.
+func TestWFQDisabledIsFIFO(t *testing.T) {
+	var ops []wfqOp
+	for i := 0; i < 30; i++ {
+		ops = append(ops, wfqOp{
+			lane:    i % NumLanes,
+			arrive:  sim.Duration(i) * sim.Microsecond,
+			cost:    1,
+			service: 500 * sim.Microsecond,
+		})
+	}
+	order, _ := runSchedule(1, false, ops)
+	for i, lane := range order {
+		if lane != i%NumLanes {
+			t.Fatalf("grant %d went to lane %d, want arrival order (lane %d)", i, lane, i%NumLanes)
+		}
+	}
+}

@@ -23,6 +23,10 @@ type Proc struct {
 	// process. Children spawned from a process body inherit it; sim itself
 	// never inspects it, which keeps the package dependency-free.
 	tctx any
+	// qctx is an opaque QoS context (internal/qos.Ctx) carried the same
+	// way: inherited by children, adopted by RPC handlers, never inspected
+	// by sim itself.
+	qctx any
 }
 
 type killedPanic struct{ name string }
@@ -38,6 +42,9 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		// context, so fan-out helpers (RAID stripes, replication pushes)
 		// stay attributed to the client op that spawned them.
 		p.tctx = k.cur.tctx
+		// QoS context rides along identically so a client op's tenant and
+		// lane follow every stripe/replica worker down to the disk queue.
+		p.qctx = k.cur.qctx
 	}
 	k.procs[p] = struct{}{}
 	go func() {
@@ -108,6 +115,14 @@ func (p *Proc) TraceCtx() any { return p.tctx }
 // SetTraceCtx installs v as the process's trace context. RPC handler
 // processes use it to adopt the caller's context carried over the wire.
 func (p *Proc) SetTraceCtx(v any) { p.tctx = v }
+
+// QoSCtx returns the process's QoS context (nil when untagged). The value
+// is opaque to sim; internal/qos owns its concrete type.
+func (p *Proc) QoSCtx() any { return p.qctx }
+
+// SetQoSCtx installs v as the process's QoS context. The controller tags
+// ops at the front door; RPC handlers adopt the caller's tag over the wire.
+func (p *Proc) SetQoSCtx(v any) { p.qctx = v }
 
 // Kernel returns the kernel this process runs on.
 func (p *Proc) Kernel() *Kernel { return p.k }

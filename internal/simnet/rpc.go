@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -65,6 +66,9 @@ type rpcRequest struct {
 	// tctx carries the caller's trace context across the simulated wire,
 	// so handler-side work joins the caller's trace.
 	tctx trace.Ctx
+	// qctx carries the caller's QoS tag (tenant + lane) the same way, so
+	// remote handler CPU and disk time are charged to the right lane.
+	qctx qos.Ctx
 }
 
 type rpcReply struct {
@@ -150,6 +154,9 @@ func (c *Conn) onMessage(msg Message) {
 				// service, nested coherence calls) attribute correctly.
 				p.SetTraceCtx(m.tctx)
 			}
+			if m.qctx != (qos.Ctx{}) {
+				qos.SetCtx(p, m.qctx)
+			}
 			result, size := h(p, msg.From, m.args)
 			c.ep.Send(msg.From, rpcReply{id: m.id, result: result}, size)
 		})
@@ -179,7 +186,7 @@ func (c *Conn) CallTimeout(p *sim.Proc, dst Addr, method string, args any, argSi
 	sp := trace.FromProc(p).Child("rpc:"+method, trace.Fabric, string(dst))
 	f := sim.NewFuture[any](k)
 	c.pending[id] = f
-	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args, tctx: sp.Ctx()}, argSize) {
+	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args, tctx: sp.Ctx(), qctx: qos.FromProc(p)}, argSize) {
 		delete(c.pending, id)
 		sp.Detail("unreachable").End()
 		return nil, ErrUnreachable
