@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke
+.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke batch-smoke bench-check
 
 all: verify
 
@@ -12,7 +12,7 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 20m ./...
 
 race:
 	$(GO) test -race -short ./...
@@ -23,15 +23,29 @@ verify: build vet test race
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# snapshot writes the per-PR perf record (per-phase p50/p99 + throughput,
-# plus the E12 balance and E13 QoS summaries).
+# snapshot writes the per-PR perf record: the canonical workload run
+# unbatched and on the batched fabric plane (per-phase p50/p99 +
+# throughput, plus the E12 balance and E13 QoS summaries), diffed
+# against the previous PR's committed record.
 snapshot:
-	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR5.json
+	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR6.json -baseline BENCH_PR5.json
+
+# bench-check regenerates the snapshot into a scratch file and diffs it
+# against the committed BENCH_PR6.json: a fabric p99 regression over 10%
+# on either plane fails loudly.
+bench-check:
+	$(GO) run ./cmd/benchrunner -snapshot /tmp/bench_check.json -baseline BENCH_PR6.json
 
 # qos-smoke runs the reduced-scale multi-tenant isolation experiment —
 # the CI gate that admission control and fair queueing still isolate.
 qos-smoke:
 	$(GO) run ./cmd/benchrunner -only E13Q
+
+# batch-smoke is the CI gate for the batched fabric plane: frame
+# coalescing semantics, the batched/unbatched convergence property, and
+# the yottactl batch toggle.
+batch-smoke:
+	$(GO) test -count=1 -run 'TestFrame|TestBatch|TestSetBatchingOffFlushes|TestGoPropagates|TestDup|TestRetryCounter' ./internal/simnet ./internal/coherence ./cmd/yottactl
 
 # experiments regenerates every table in EXPERIMENTS.md on stdout.
 experiments:

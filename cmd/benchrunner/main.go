@@ -6,9 +6,11 @@
 //
 //	benchrunner [-seed N] [-only E4] [-list] [-snapshot FILE]
 //
-// -snapshot runs the canonical traced workload and writes a JSON perf
-// record (per-phase p50/p99 + throughput) instead of the tables, so each
-// PR can commit a comparable BENCH_PRn.json.
+// -snapshot runs the canonical traced workload — unbatched, then again on
+// the batched fabric plane — and writes a JSON comparison record instead
+// of the tables, so each PR can commit a comparable BENCH_PRn.json.
+// -baseline diffs the fresh record against a committed one and exits
+// non-zero if the fabric p99 regressed more than 10% on either plane.
 package main
 
 import (
@@ -51,14 +53,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4); empty = all")
 	list := flag.Bool("list", false, "list experiments and exit")
-	snapshot := flag.String("snapshot", "", "write a JSON perf snapshot (per-phase p50/p99 + throughput) to this file and exit")
+	snapshot := flag.String("snapshot", "", "write a JSON perf snapshot (unbatched + batched planes, per-phase p50/p99 + throughput) to this file and exit")
+	baseline := flag.String("baseline", "", "with -snapshot: committed BENCH_PRn.json to diff against; fabric p99 regressions over 10% on either plane fail loudly")
 	flag.Parse()
 
 	if *snapshot != "" {
-		snap := experiments.PerfSnapshot(*seed)
+		cmp := experiments.RunBatchComparison(*seed)
 		// MarshalIndent sorts map keys, so the file is deterministic and
 		// diffs cleanly across PRs.
-		out, err := json.MarshalIndent(snap, "", "  ")
+		out, err := json.MarshalIndent(cmp, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
 			os.Exit(1)
@@ -69,7 +72,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *snapshot)
+		if *baseline != "" {
+			if err := diffBaseline(*baseline, cmp); err != nil {
+				fmt.Fprintf(os.Stderr, "baseline check FAILED: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("baseline check ok against %s\n", *baseline)
+		}
 		return
+	}
+
+	if *baseline != "" {
+		fmt.Fprintln(os.Stderr, "-baseline requires -snapshot")
+		os.Exit(1)
 	}
 
 	if *list {
@@ -99,4 +114,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
 		os.Exit(1)
 	}
+}
+
+// maxFabricRegressPct is how much the fabric-phase p99 may grow over the
+// committed baseline before the -baseline check fails the run.
+const maxFabricRegressPct = 10.0
+
+// diffBaseline compares the fresh comparison record against a committed
+// one. Baselines in the pre-PR6 single-snapshot format are accepted and
+// checked against the fresh unbatched plane only.
+func diffBaseline(path string, fresh experiments.BatchComparison) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base experiments.BatchComparison
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(base.Unbatched.Phases) == 0 {
+		// Old format: the whole file is one unbatched Snapshot.
+		if err := json.Unmarshal(raw, &base.Unbatched); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	}
+	check := func(plane string, base, fresh experiments.Snapshot) error {
+		b, ok := base.Phases["fabric"]
+		if !ok || b.P99Ms <= 0 {
+			return nil
+		}
+		f := fresh.Phases["fabric"]
+		growth := 100 * (f.P99Ms - b.P99Ms) / b.P99Ms
+		fmt.Printf("  %s fabric p99: baseline %.3f ms, now %.3f ms (%+.1f%%)\n",
+			plane, b.P99Ms, f.P99Ms, growth)
+		if growth > maxFabricRegressPct {
+			return fmt.Errorf("%s fabric p99 regressed %.1f%% (baseline %.3f ms → %.3f ms, limit +%.0f%%)",
+				plane, growth, b.P99Ms, f.P99Ms, maxFabricRegressPct)
+		}
+		return nil
+	}
+	if err := check("unbatched", base.Unbatched, fresh.Unbatched); err != nil {
+		return err
+	}
+	if len(base.Batched.Phases) > 0 {
+		return check("batched", base.Batched, fresh.Batched)
+	}
+	return nil
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBatchCommandRoundTrip drives batch on → I/O → status → off through
+// the script interface, checking the printed switch state and that frames
+// actually coalesced messages while batching was on.
+func TestBatchCommandRoundTrip(t *testing.T) {
+	sys := newScriptSystem(t, false)
+	if sys.Cluster.FabricBatched() {
+		t.Fatal("batching should start disabled")
+	}
+	out, errs := runScript(t, sys,
+		"batch status",
+		"batch on",
+		"mkdir /b",
+		"put /b/f.txt hello coalesced fabric frames",
+		"get /b/f.txt",
+		"batch status",
+		"batch off",
+		"batch status",
+	)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+	}
+	if !strings.Contains(out, "fabric batching: off") {
+		t.Fatalf("missing initial off status:\n%s", out)
+	}
+	if !strings.Contains(out, "fabric batching on") {
+		t.Fatalf("missing on confirmation:\n%s", out)
+	}
+	if !strings.Contains(out, "fabric batching: on") {
+		t.Fatalf("missing on status:\n%s", out)
+	}
+	if sys.Cluster.FabricBatched() {
+		t.Fatal("batch off left the plane enabled")
+	}
+	// The put/get ran while batching was on: that I/O must have coalesced.
+	frames := int64(0)
+	for _, b := range sys.Cluster.Blades {
+		frames += b.Conn.BatchStats().Frames
+	}
+	if frames == 0 {
+		t.Fatal("no frames coalesced while batching was on")
+	}
+}
+
+func TestBatchCommandUsage(t *testing.T) {
+	sys := newScriptSystem(t, false)
+	_, errs := runScript(t, sys, "batch", "batch maybe")
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "usage: batch on|off|status") {
+			t.Fatalf("line %d: expected usage error, got %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,723 @@
+package coherence
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	tr "repro/internal/trace"
+)
+
+// Batched coherence plane. With batching enabled the cluster resolves a
+// whole client op's blocks through vectorized protocol messages: one
+// coh.getsb/coh.getxb per home blade instead of one coh.gets/coh.getx per
+// block, and on the home side one coh.invb/coh.invmb/coh.downgradeb/
+// coh.fetchb per peer instead of one message per (peer, key). The
+// handler-side CPU charge (hdlDelay) and the client-side op charge
+// (opDelay) are paid once per batch — that amortization, plus the collapse
+// of per-key round trips, is what empties the fabric queues.
+//
+// Two deliberate semantic differences from the per-key plane, both safe:
+//
+//   - coh.downgradeb forwards a dirty owner's data immediately instead of
+//     poll-waiting out a pinned (mid-destage) entry. The forwarded bytes
+//     are the latest acknowledged write, the reader does not install them
+//     (NoCache), and the owner keeps exclusive ownership, so no invariant
+//     moves; the per-key path's wait was purely conservative. coh.invmb
+//     KEEPS the pinned wait: there a new owner is about to write and
+//     destage, and overlapping backing-store writes from old and new owner
+//     genuinely can interleave.
+//
+//   - the shared-state fetch probe tries one sharer (the first in sorted
+//     order) instead of walking sharers sequentially; if it fails or the
+//     copy is gone the reader falls back to the backing store, which is
+//     current for Shared entries (invariant 1).
+//
+// Determinism: batch fan-out walks peers in sorted order, multi-entry
+// locking is in sorted key order (so batched handlers cannot deadlock with
+// each other or with the single-key plane), and all concurrency uses the
+// kernel's deterministic primitives.
+
+// Batched protocol payloads. Req/resp item slices are parallel arrays.
+type getSBatchReq struct{ Keys []cache.Key }
+type getSBatchResp struct{ Items []getSResp }
+type getXBatchReq struct{ Keys []cache.Key }
+type getXBatchResp struct{ Items []getXResp }
+type invBatchReq struct{ Keys []cache.Key }
+type invBatchResp struct{}
+type invMBatchReq struct{ Keys []cache.Key }
+type invMBatchResp struct{}
+type downgradeBatchReq struct{ Keys []cache.Key }
+type downgradeBatchResp struct{ Items []downgradeResp }
+type fetchBatchReq struct{ Keys []cache.Key }
+type fetchBatchResp struct{ Items []fetchResp }
+
+// perKeySize is the wire cost of one key (or one dataless reply item)
+// inside a batched message, on top of the shared ctrlSize header.
+const perKeySize = 16
+
+func batchSize(n int) int { return ctrlSize + perKeySize*n }
+
+// SetBatched switches this engine's client paths between the per-key and
+// batched protocol planes. Handlers for both planes are always registered,
+// so mixed clusters stay interoperable during a toggle.
+func (e *Engine) SetBatched(on bool) { e.batched = on }
+
+// Batched reports whether the batched plane is active.
+func (e *Engine) Batched() bool { return e.batched }
+
+func (e *Engine) registerBatched() {
+	e.conn.Register("coh.getsb", e.handleGetSBatch)
+	e.conn.Register("coh.getxb", e.handleGetXBatch)
+	e.conn.Register("coh.invb", e.handleInvBatch)
+	e.conn.Register("coh.invmb", e.handleInvMBatch)
+	e.conn.Register("coh.downgradeb", e.handleDowngradeBatch)
+	e.conn.Register("coh.fetchb", e.handleFetchBatch)
+}
+
+func sortedPeerIDs[T any](m map[int]T) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// batchWork is one key's slot in a batched home handler.
+type batchWork struct {
+	idx int // position in the request (and response) arrays
+	key cache.Key
+	ent *dirEntry
+}
+
+// lockSorted locks each work entry's mutex in sorted key order and returns
+// the same slice sorted. Every multi-entry locker in the package uses this
+// order, so overlapping batches queue instead of deadlocking.
+func (e *Engine) lockSorted(p *sim.Proc, work []batchWork) []batchWork {
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].key.Vol != work[j].key.Vol {
+			return work[i].key.Vol < work[j].key.Vol
+		}
+		return work[i].key.LBA < work[j].key.LBA
+	})
+	for i := range work {
+		work[i].ent = e.entry(work[i].key)
+		work[i].ent.mu.Lock(p)
+	}
+	return work
+}
+
+func unlockAll(work []batchWork) {
+	for i := range work {
+		work[i].ent.mu.Unlock()
+	}
+}
+
+// handleGetSBatch serves a vector of read-share requests as the home blade.
+func (e *Engine) handleGetSBatch(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(getSBatchReq)
+	requester := bladeID(e.peers, from)
+	items := make([]getSResp, len(req.Keys))
+	e.stats.DirRequests += int64(len(req.Keys))
+
+	var work []batchWork
+	for i, key := range req.Keys {
+		if to, ok := e.forward[key]; ok {
+			e.stats.RedirectsServed++
+			items[i] = getSResp{Redirect: true, NewHome: to}
+			continue
+		}
+		work = append(work, batchWork{idx: i, key: key})
+	}
+	if len(work) == 0 {
+		return getSBatchResp{Items: items}, batchSize(len(items))
+	}
+	e.busy(p, e.hdlDelay) // one CPU charge for the whole batch
+	work = e.lockSorted(p, work)
+	defer unlockAll(work)
+
+	// Classify under the locks; the home may have migrated while we queued.
+	fetchGroups := make(map[int][]batchWork) // sharer blade → keys to fetch
+	dgGroups := make(map[int][]batchWork)    // owner blade → keys to downgrade
+	for _, w := range work {
+		if to, ok := e.forward[w.key]; ok {
+			e.stats.RedirectsServed++
+			items[w.idx] = getSResp{Redirect: true, NewHome: to}
+			continue
+		}
+		e.heat.Touch(w.key)
+		trace(w.key, "t=%v home%d GETSB from %d state=%d owner=%d sharers=%v",
+			e.k.Now(), e.self, requester, w.ent.state, w.ent.owner, w.ent.sharers)
+		switch w.ent.state {
+		case dirInvalid:
+			w.ent.state = dirShared
+			w.ent.sharers = map[int]bool{requester: true}
+		case dirShared:
+			if e.noPeerFetch {
+				w.ent.sharers[requester] = true
+				continue
+			}
+			src := -1
+			for _, s := range sortedSharers(w.ent.sharers) {
+				if s != requester {
+					src = s
+					break
+				}
+			}
+			if src < 0 {
+				w.ent.sharers[requester] = true
+				continue
+			}
+			fetchGroups[src] = append(fetchGroups[src], w)
+		default: // dirModified
+			dgGroups[w.ent.owner] = append(dgGroups[w.ent.owner], w)
+		}
+	}
+	// One batched call per peer, all peers in parallel, sorted spawn order.
+	grp := sim.NewGroup(e.k)
+	for _, src := range sortedPeerIDs(fetchGroups) {
+		src, ws := src, fetchGroups[src]
+		grp.Add(1)
+		e.k.Go("fetchb", func(q *sim.Proc) {
+			defer grp.Done()
+			keys := make([]cache.Key, len(ws))
+			for i, w := range ws {
+				keys[i] = w.key
+			}
+			raw, err := e.conn.CallRetry(q, e.peers[src], "coh.fetchb", fetchBatchReq{Keys: keys}, batchSize(len(keys)), e.retry)
+			if err != nil {
+				// Dead sharer: unregister it so invalidations don't stall
+				// on it later; readers fall back to the backing store.
+				for _, w := range ws {
+					delete(w.ent.sharers, src)
+					w.ent.sharers[requester] = true
+				}
+				return
+			}
+			fr := raw.(fetchBatchResp)
+			for i, w := range ws {
+				if !fr.Items[i].Gone {
+					items[w.idx].Data = fr.Items[i].Data
+				}
+				// A Gone sharer stays registered (it may be mid-install);
+				// the reader falls back to backing, current for Shared.
+				w.ent.sharers[requester] = true
+			}
+		})
+	}
+	for _, owner := range sortedPeerIDs(dgGroups) {
+		owner, ws := owner, dgGroups[owner]
+		grp.Add(1)
+		e.k.Go("downgradeb", func(q *sim.Proc) {
+			defer grp.Done()
+			keys := make([]cache.Key, len(ws))
+			for i, w := range ws {
+				keys[i] = w.key
+			}
+			raw, err := e.conn.CallRetry(q, e.peers[owner], "coh.downgradeb", downgradeBatchReq{Keys: keys}, batchSize(len(keys)), e.retry)
+			if err != nil {
+				// Dead owner: per invariant 3 the backing store is current.
+				for _, w := range ws {
+					w.ent.state = dirShared
+					w.ent.sharers = map[int]bool{requester: true}
+				}
+				return
+			}
+			dr := raw.(downgradeBatchResp)
+			for i, w := range ws {
+				it := dr.Items[i]
+				switch {
+				case it.StillDirty:
+					// Owner-forwarding: home stays Modified; reader must
+					// not cache.
+					items[w.idx] = getSResp{Data: it.Data, NoCache: true}
+				case !it.Gone:
+					w.ent.state = dirShared
+					w.ent.sharers = map[int]bool{requester: true, owner: true}
+					items[w.idx].Data = it.Data
+				default:
+					w.ent.state = dirShared
+					w.ent.sharers = map[int]bool{requester: true}
+				}
+			}
+		})
+	}
+	grp.Wait(p)
+
+	size := batchSize(len(items))
+	for i := range items {
+		size += len(items[i].Data)
+	}
+	return getSBatchResp{Items: items}, size
+}
+
+// handleGetXBatch serves a vector of exclusive-ownership requests as the
+// home blade, with the sharer-invalidation fan-out vectorized per peer.
+func (e *Engine) handleGetXBatch(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(getXBatchReq)
+	requester := bladeID(e.peers, from)
+	items := make([]getXResp, len(req.Keys))
+	e.stats.DirRequests += int64(len(req.Keys))
+
+	var work []batchWork
+	for i, key := range req.Keys {
+		if to, ok := e.forward[key]; ok {
+			e.stats.RedirectsServed++
+			items[i] = getXResp{Redirect: true, NewHome: to}
+			continue
+		}
+		work = append(work, batchWork{idx: i, key: key})
+	}
+	if len(work) == 0 {
+		return getXBatchResp{Items: items}, batchSize(len(items))
+	}
+	e.busy(p, e.hdlDelay)
+	work = e.lockSorted(p, work)
+	defer unlockAll(work)
+
+	invGroups := make(map[int][]cache.Key)  // sharer blade → keys to invalidate
+	invMGroups := make(map[int][]cache.Key) // owner blade → ownership to revoke
+	var granted []batchWork
+	for _, w := range work {
+		if to, ok := e.forward[w.key]; ok {
+			e.stats.RedirectsServed++
+			items[w.idx] = getXResp{Redirect: true, NewHome: to}
+			continue
+		}
+		e.heat.Touch(w.key)
+		trace(w.key, "t=%v home%d GETXB from %d state=%d owner=%d sharers=%v",
+			e.k.Now(), e.self, requester, w.ent.state, w.ent.owner, w.ent.sharers)
+		switch w.ent.state {
+		case dirShared:
+			for _, s := range sortedSharers(w.ent.sharers) {
+				if s != requester {
+					invGroups[s] = append(invGroups[s], w.key)
+				}
+			}
+		case dirModified:
+			if w.ent.owner != requester {
+				invMGroups[w.ent.owner] = append(invMGroups[w.ent.owner], w.key)
+			}
+		}
+		granted = append(granted, w)
+	}
+
+	grp := sim.NewGroup(e.k)
+	for _, s := range sortedPeerIDs(invGroups) {
+		s, keys := s, invGroups[s]
+		grp.Add(1)
+		e.k.Go("invb", func(q *sim.Proc) {
+			defer grp.Done()
+			e.conn.CallRetry(q, e.peers[s], "coh.invb", invBatchReq{Keys: keys}, batchSize(len(keys)), e.retry)
+		})
+	}
+	for _, o := range sortedPeerIDs(invMGroups) {
+		o, keys := o, invMGroups[o]
+		grp.Add(1)
+		e.k.Go("invmb", func(q *sim.Proc) {
+			defer grp.Done()
+			e.conn.CallRetry(q, e.peers[o], "coh.invmb", invMBatchReq{Keys: keys}, batchSize(len(keys)), e.retry)
+		})
+	}
+	grp.Wait(p)
+
+	for _, w := range granted {
+		w.ent.state = dirModified
+		w.ent.owner = requester
+		w.ent.sharers = make(map[int]bool)
+	}
+	return getXBatchResp{Items: items}, batchSize(len(items))
+}
+
+// handleInvBatch drops a vector of Shared copies.
+func (e *Engine) handleInvBatch(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(invBatchReq)
+	for _, key := range req.Keys {
+		e.stats.Invalidations++
+		trace(key, "t=%v blade%d INVB", e.k.Now(), e.self)
+		e.invEpoch[key]++
+		if ent, ok := e.cache.Peek(key); ok {
+			e.cache.Remove(ent.Key)
+		}
+	}
+	return invBatchResp{}, ctrlSize
+}
+
+// handleInvMBatch surrenders Modified ownership for a vector of keys. The
+// per-key pinned wait is preserved: a mid-flight destage here must finish
+// before the new owner may issue its own, or the two backing writes could
+// interleave.
+func (e *Engine) handleInvMBatch(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(invMBatchReq)
+	for _, key := range req.Keys {
+		e.stats.Invalidations++
+		trace(key, "t=%v blade%d INVMB", e.k.Now(), e.self)
+		e.invEpoch[key]++
+		ent, ok := e.cache.Peek(key)
+		if !ok {
+			continue
+		}
+		for ent.Pinned {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		e.cache.Remove(key)
+	}
+	return invMBatchResp{}, ctrlSize
+}
+
+// handleDowngradeBatch resolves reads of this blade's Modified copies.
+// Unlike the per-key handler it never waits out a pinned entry: a dirty
+// copy (pinned or not) is forwarded immediately with StillDirty set. The
+// bytes are the latest acknowledged write, the reader does not install
+// them, and ownership does not move, so skipping the destage wait changes
+// no state the protocol can observe — it only keeps convoys of readers
+// from queueing behind disk destages, which is where the unbatched
+// fabric's p99 tail lived.
+func (e *Engine) handleDowngradeBatch(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(downgradeBatchReq)
+	items := make([]downgradeResp, len(req.Keys))
+	size := batchSize(len(req.Keys))
+	for i, key := range req.Keys {
+		e.stats.Downgrades++
+		trace(key, "t=%v blade%d DOWNGRADEB", e.k.Now(), e.self)
+		ent, ok := e.cache.Peek(key)
+		if !ok {
+			e.invEpoch[key]++
+			items[i] = downgradeResp{Gone: true}
+			continue
+		}
+		if ent.Dirty {
+			items[i] = downgradeResp{Data: append([]byte(nil), ent.Data...), StillDirty: true}
+		} else {
+			// A clean copy here means the Modified grant this downgrade is
+			// revoking has NOT been installed yet — this entry is a stale
+			// Shared copy and a local writer is between grant and install.
+			// The per-key plane closes that window by installing without a
+			// park point; the batched plane's window spans the whole vector
+			// grant, so bump the epoch to send that writer back through the
+			// retry path before it installs dirty data under a directory
+			// that now says Shared.
+			e.invEpoch[key]++
+			ent.State = cache.Shared
+			items[i] = downgradeResp{Data: append([]byte(nil), ent.Data...)}
+		}
+		size += len(items[i].Data)
+	}
+	return downgradeBatchResp{Items: items}, size
+}
+
+// handleFetchBatch serves a vector of peer-cache reads, charging the
+// handler CPU once.
+func (e *Engine) handleFetchBatch(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(fetchBatchReq)
+	items := make([]fetchResp, len(req.Keys))
+	size := batchSize(len(req.Keys))
+	e.busy(p, e.hdlDelay)
+	for i, key := range req.Keys {
+		ent, ok := e.cache.Peek(key)
+		if !ok || ent.State == cache.Invalid {
+			trace(key, "t=%v blade%d FETCHB gone", e.k.Now(), e.self)
+			items[i] = fetchResp{Gone: true}
+			continue
+		}
+		items[i] = fetchResp{Data: append([]byte(nil), ent.Data...)}
+		size += len(items[i].Data)
+	}
+	return fetchBatchResp{Items: items}, size
+}
+
+type pendingMiss struct {
+	idx   int
+	key   cache.Key
+	epoch uint64
+}
+
+// ReadBlocksBatched reads a vector of blocks, serving local hits inline
+// and resolving all misses through per-home coh.getsb calls; backing reads
+// and installs then fan out in parallel so disk concurrency matches the
+// per-key plane. Results are positional; keys must be distinct.
+func (e *Engine) ReadBlocksBatched(p *sim.Proc, keys []cache.Key, priority int) ([][]byte, error) {
+	if e.down {
+		return nil, fmt.Errorf("coherence: blade %d down", e.self)
+	}
+	e.stats.Reads += int64(len(keys))
+	e.busy(p, e.opDelay) // one op charge for the whole vector
+	out := make([][]byte, len(keys))
+	var misses []pendingMiss
+	for i, key := range keys {
+		if ent, ok := e.cache.Get(key); ok && ent.State != cache.Invalid {
+			e.stats.LocalHits++
+			if h, err := e.home(key); err == nil && h == e.self {
+				e.heat.Touch(key)
+			}
+			if ctx := tr.FromProc(p); ctx.Valid() {
+				ctx.Child("hit", tr.CacheHit, e.label).End()
+			}
+			out[i] = append([]byte(nil), ent.Data...)
+			continue
+		}
+		misses = append(misses, pendingMiss{idx: i, key: key, epoch: e.invEpoch[key]})
+	}
+
+	type grant struct {
+		m    pendingMiss
+		resp getSResp
+	}
+	var grants []grant
+	pending := misses
+	for hops := 0; len(pending) > 0; hops++ {
+		if hops > len(e.peers)+8 {
+			return nil, fmt.Errorf("coherence: getsb: redirect loop")
+		}
+		groups := make(map[int][]pendingMiss)
+		for _, m := range pending {
+			h, err := e.home(m.key)
+			if err != nil {
+				return nil, err
+			}
+			groups[h] = append(groups[h], m)
+		}
+		homes := sortedPeerIDs(groups)
+		resps := make([]getSBatchResp, len(homes))
+		errs := make([]error, len(homes))
+		grp := sim.NewGroup(e.k)
+		for gi, h := range homes {
+			gi, h := gi, h
+			grp.Add(1)
+			e.k.Go("getsb", func(q *sim.Proc) {
+				defer grp.Done()
+				ks := make([]cache.Key, len(groups[h]))
+				for i, m := range groups[h] {
+					ks[i] = m.key
+				}
+				raw, err := e.call(q, h, "coh.getsb", getSBatchReq{Keys: ks}, batchSize(len(ks)))
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				resps[gi] = raw.(getSBatchResp)
+			})
+		}
+		grp.Wait(p)
+		var next []pendingMiss
+		for gi, h := range homes {
+			if errs[gi] != nil {
+				return nil, fmt.Errorf("coherence: getsb to blade %d: %w", h, errs[gi])
+			}
+			for j, m := range groups[h] {
+				r := resps[gi].Items[j]
+				if r.Redirect {
+					e.stats.RedirectsFollowed++
+					e.setHomeOverride(m.key, r.NewHome)
+					next = append(next, m)
+					continue
+				}
+				if r.Err != "" {
+					return nil, errors.New(r.Err)
+				}
+				grants = append(grants, grant{m: m, resp: r})
+			}
+		}
+		pending = next
+	}
+
+	// Serve grants in parallel: peer data is used directly, the rest read
+	// the backing store, installs re-check epochs exactly like readBlock.
+	grp := sim.NewGroup(e.k)
+	var firstErr error
+	for _, g := range grants {
+		g := g
+		grp.Add(1)
+		e.k.Go("readb", func(q *sim.Proc) {
+			defer grp.Done()
+			data, err := e.finishRead(q, g.m.key, g.m.epoch, g.resp, priority)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			out[g.m.idx] = data
+		})
+	}
+	grp.Wait(p)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, key := range keys {
+		e.maybeReadAhead(key, priority)
+	}
+	return out, nil
+}
+
+// finishRead completes one granted read: source the data, then install a
+// Shared copy under the same epoch/presence guards as the per-key path.
+func (e *Engine) finishRead(p *sim.Proc, key cache.Key, epoch uint64, resp getSResp, priority int) ([]byte, error) {
+	var data []byte
+	var err error
+	if resp.Data != nil {
+		e.stats.PeerFetches++
+		data = resp.Data
+	} else {
+		e.stats.DiskReads++
+		data, err = e.backing.ReadBlock(p, key)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if resp.NoCache {
+		return data, nil
+	}
+	if e.invEpoch[key] == epoch {
+		if err := e.makeRoom(p); err == nil {
+			if _, present := e.cache.Peek(key); !present && e.invEpoch[key] == epoch {
+				e.cache.Put(key, data, cache.Shared, false, priority)
+				trace(key, "t=%v blade%d readb MISS install S d0=%d (peer=%v)", p.Now(), e.self, d0(data), resp.Data != nil)
+			}
+		}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// WriteBlocksBatched stores a vector of full blocks, acquiring exclusive
+// ownership through per-home coh.getxb calls; installs and replication
+// pushes fan out in parallel. Keys must be distinct and blocks positional.
+// A key whose ownership is stolen between grant and install falls back to
+// the per-key WriteBlockR retry loop.
+func (e *Engine) WriteBlocksBatched(p *sim.Proc, keys []cache.Key, blocks [][]byte, priority, replFactor int) error {
+	if e.down {
+		return fmt.Errorf("coherence: blade %d down", e.self)
+	}
+	if len(keys) != len(blocks) {
+		return fmt.Errorf("coherence: %d keys, %d blocks", len(keys), len(blocks))
+	}
+	for _, b := range blocks {
+		if len(b) != e.blockSize {
+			return fmt.Errorf("coherence: write of %d bytes, block size %d", len(b), e.blockSize)
+		}
+	}
+	e.stats.Writes += int64(len(keys))
+	e.busy(p, e.opDelay)
+
+	var granted []pendingMiss
+	pending := make([]pendingMiss, len(keys))
+	for i, key := range keys {
+		pending[i] = pendingMiss{idx: i, key: key, epoch: e.invEpoch[key]}
+	}
+	for hops := 0; len(pending) > 0; hops++ {
+		if hops > len(e.peers)+8 {
+			return fmt.Errorf("coherence: getxb: redirect loop")
+		}
+		groups := make(map[int][]pendingMiss)
+		for _, m := range pending {
+			h, err := e.home(m.key)
+			if err != nil {
+				return err
+			}
+			groups[h] = append(groups[h], m)
+		}
+		homes := sortedPeerIDs(groups)
+		resps := make([]getXBatchResp, len(homes))
+		errs := make([]error, len(homes))
+		grp := sim.NewGroup(e.k)
+		for gi, h := range homes {
+			gi, h := gi, h
+			grp.Add(1)
+			e.k.Go("getxb", func(q *sim.Proc) {
+				defer grp.Done()
+				ks := make([]cache.Key, len(groups[h]))
+				for i, m := range groups[h] {
+					ks[i] = m.key
+				}
+				raw, err := e.call(q, h, "coh.getxb", getXBatchReq{Keys: ks}, batchSize(len(ks)))
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				resps[gi] = raw.(getXBatchResp)
+			})
+		}
+		grp.Wait(p)
+		var next []pendingMiss
+		for gi, h := range homes {
+			if errs[gi] != nil {
+				return fmt.Errorf("coherence: getxb to blade %d: %w", h, errs[gi])
+			}
+			for j, m := range groups[h] {
+				r := resps[gi].Items[j]
+				if r.Redirect {
+					e.stats.RedirectsFollowed++
+					e.setHomeOverride(m.key, r.NewHome)
+					next = append(next, m)
+					continue
+				}
+				if r.Err != "" {
+					return errors.New(r.Err)
+				}
+				granted = append(granted, m)
+			}
+		}
+		pending = next
+	}
+
+	grp := sim.NewGroup(e.k)
+	var firstErr error
+	for _, g := range granted {
+		g := g
+		grp.Add(1)
+		e.k.Go("writeb", func(q *sim.Proc) {
+			defer grp.Done()
+			if err := e.finishWrite(q, g, blocks[g.idx], priority, replFactor); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	grp.Wait(p)
+	return firstErr
+}
+
+// finishWrite installs one granted write (or falls back to the per-key
+// retry loop when ownership was stolen mid-flight) and replicates.
+func (e *Engine) finishWrite(p *sim.Proc, g pendingMiss, data []byte, priority, replFactor int) error {
+	key := g.key
+	if e.invEpoch[key] != g.epoch {
+		// Ownership stolen between grant and install: hand the key to the
+		// per-key retry loop. Undo the batch's Writes count first — the
+		// fallback recounts the op.
+		e.stats.WriteRetries++
+		e.stats.Writes--
+		return e.WriteBlockR(p, key, data, priority, replFactor)
+	}
+	stored := append([]byte(nil), data...)
+	var entry *cache.Entry
+	if ex, ok := e.cache.Peek(key); ok {
+		ex.Data = stored
+		ex.State = cache.Modified
+		ex.Dirty = true
+		ex.Version++
+		entry = ex
+		trace(key, "t=%v blade%d writeb in-place M d0=%d v=%d", p.Now(), e.self, d0(stored), ex.Version)
+	} else {
+		if err := e.makeRoom(p); err != nil {
+			return fmt.Errorf("coherence: write to %v: %w", key, err)
+		}
+		if e.invEpoch[key] != g.epoch {
+			e.stats.WriteRetries++
+			e.stats.Writes--
+			return e.WriteBlockR(p, key, data, priority, replFactor)
+		}
+		entry = e.cache.Put(key, stored, cache.Modified, true, priority)
+		entry.Version++
+		trace(key, "t=%v blade%d writeb install M d0=%d", p.Now(), e.self, d0(stored))
+	}
+	if e.replicate != nil {
+		if err := e.replicate(p, key, stored, entry.Version, replFactor); err != nil {
+			return fmt.Errorf("coherence: replication: %w", err)
+		}
+	}
+	return nil
+}

@@ -22,7 +22,6 @@ package coherence
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 
 	"repro/internal/cache"
 	"repro/internal/qos"
@@ -83,7 +82,7 @@ type Config struct {
 	ReplicateDirty func(p *sim.Proc, key cache.Key, data []byte, version uint64, factor int) error
 	// OnClean, if non-nil, runs when a dirty block reaches the backing
 	// store (replicas may be released).
-	OnClean func(key cache.Key, version uint64)
+	OnClean func(p *sim.Proc, key cache.Key, version uint64)
 	// NoPeerFetch disables cache-to-cache transfers on read misses
 	// (ablation: every shared miss then reads the backing store).
 	NoPeerFetch bool
@@ -177,17 +176,23 @@ type Engine struct {
 	forward      map[cache.Key]int
 	heat         *heatTracker
 
+	// idx is the fixed-stride home-lookup cache (see homeidx.go).
+	idx *homeIndex
+
 	// label is "blade<self>", precomputed for span Where fields.
 	label string
 
 	replicate func(p *sim.Proc, key cache.Key, data []byte, version uint64, factor int) error
-	onClean   func(key cache.Key, version uint64)
+	onClean   func(p *sim.Proc, key cache.Key, version uint64)
 
 	stats Stats
 	// down mirrors the cluster's view of this blade; a down engine
 	// rejects client operations.
 	down        bool
 	noPeerFetch bool
+	// batched selects the vectorized protocol plane (batched.go) for
+	// client reads/writes issued through the controller.
+	batched bool
 
 	readAhead   int
 	lastSeq     map[string]int64
@@ -322,6 +327,7 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 		lastSeq:      make(map[string]int64),
 		seqStreak:    make(map[string]int),
 		prefetching:  make(map[cache.Key]bool),
+		idx:          newHomeIndex(),
 	}
 	for i := range cfg.Peers {
 		e.alive = append(e.alive, i)
@@ -336,6 +342,7 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 	e.conn.Register("coh.migrate", e.handleMigrate)
 	e.conn.Register("coh.adopt", e.handleAdopt)
 	e.conn.Register("coh.sethome", e.handleSetHome)
+	e.registerBatched()
 	return e
 }
 
@@ -355,17 +362,30 @@ func (e *Engine) Alive() []int { return append([]int(nil), e.alive...) }
 func (e *Engine) SetDown(down bool) { e.down = down }
 
 // home returns the blade ID that homes key: a migration override if one is
-// installed, the rendezvous hash over the live membership otherwise.
+// installed, the rendezvous hash over the live membership otherwise. The
+// fixed-stride index short-circuits repeats; its result is always exactly
+// what the slow path below would compute (overrides and membership changes
+// invalidate it wholesale).
 func (e *Engine) home(key cache.Key) (int, error) {
 	if len(e.alive) == 0 {
 		return -1, ErrNoQuorum
 	}
-	if h, ok := e.homeOverride[key]; ok {
+	if h, ok := e.idx.lookup(key); ok {
 		return h, nil
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d", key.Vol, key.LBA)
-	return e.alive[h.Sum64()%uint64(len(e.alive))], nil
+	hid, ok := e.homeOverride[key]
+	if !ok {
+		hid = e.alive[keyHash(key)%uint64(len(e.alive))]
+	}
+	e.idx.install(key, hid)
+	return hid, nil
+}
+
+// setHomeOverride records a migrated key's home and invalidates the home
+// index — every cached mapping may now be stale.
+func (e *Engine) setHomeOverride(key cache.Key, home int) {
+	e.homeOverride[key] = home
+	e.idx.invalidate()
 }
 
 // Home exposes this blade's view of key's home blade — used by affinity
@@ -459,6 +479,8 @@ func (e *Engine) RegisterTelemetry(s telemetry.Scope) {
 	coh.Int("migrated_out", func() int64 { return e.stats.HomeMigrations })
 	coh.Int("migrated_in", func() int64 { return e.stats.HomeAdoptions })
 	coh.Int("redirects", func() int64 { return e.stats.RedirectsServed })
+	coh.Int("home_idx_hits", func() int64 { return e.idx.hits })
+	coh.Int("home_idx_misses", func() int64 { return e.idx.miss })
 	s.Int("cpu_free", func() int64 { return int64(e.cpu.Available()) })
 }
 
@@ -524,7 +546,7 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 		// new address and retry there. Chained redirects are bounded by
 		// the blade count plus in-flight migrations.
 		e.stats.RedirectsFollowed++
-		e.homeOverride[key] = resp.NewHome
+		e.setHomeOverride(key, resp.NewHome)
 		homeID = resp.NewHome
 		if hops > len(e.peers)+8 {
 			return nil, fmt.Errorf("coherence: gets for %v: redirect loop", key)
@@ -608,7 +630,7 @@ func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, 
 				break
 			}
 			e.stats.RedirectsFollowed++
-			e.homeOverride[key] = resp.NewHome
+			e.setHomeOverride(key, resp.NewHome)
 			homeID = resp.NewHome
 			if hops > len(e.peers)+8 {
 				return fmt.Errorf("coherence: getx for %v: redirect loop", key)
@@ -701,15 +723,21 @@ func (e *Engine) makeRoom(p *sim.Proc) error {
 			v.Dirty = false
 			e.stats.Writebacks++
 			if e.onClean != nil {
-				e.onClean(v.Key, ver)
+				e.onClean(p, v.Key, ver)
 			}
 		}
 		wasOwner := v.State == cache.Modified
 		trace(v.Key, "t=%v blade%d evict state=%v", e.k.Now(), e.self, v.State)
 		e.cache.Evict(v)
+		// An eviction invalidates this blade's copy, so it must also age the
+		// local install epoch: a sibling proc between a directory grant and
+		// its install (the evict-note may already have reset the home) would
+		// otherwise resurrect the key here while the directory forgets it —
+		// a dirty copy under an Invalid entry once the note lands.
+		e.invEpoch[v.Key]++
 		// Fire-and-forget directory notice; staleness is tolerated.
 		if homeID, err := e.home(v.Key); err == nil {
-			e.conn.Go(e.peers[homeID], "coh.evict",
+			e.conn.Go(p, e.peers[homeID], "coh.evict",
 				evictNote{Key: v.Key, From: e.self, WasOwner: wasOwner}, ctrlSize, 0)
 		}
 	}

@@ -42,7 +42,7 @@ func (e *Engine) FlushOnce(p *sim.Proc, max int) int {
 				ent.Dirty = false
 				e.stats.Writebacks++
 				if e.onClean != nil {
-					e.onClean(ent.Key, ver)
+					e.onClean(p, ent.Key, ver)
 				}
 			}
 		})
@@ -89,6 +89,7 @@ func (e *Engine) Recover(p *sim.Proc, alive []int) {
 	// every home, so overrides, forwarders and heat all restart from zero.
 	e.homeOverride = make(map[cache.Key]int)
 	e.forward = make(map[cache.Key]int)
+	e.idx.invalidate()
 	e.heat.Reset()
 	e.alive = append([]int(nil), alive...)
 	sort.Ints(e.alive)

@@ -269,7 +269,7 @@ func (e *Engine) handleEvictNote(p *sim.Proc, from simnet.Addr, args any) (any, 
 	if to, ok := e.forward[note.Key]; ok {
 		// The key's home migrated away; relay the notice so the new home's
 		// sharer set does not go stale.
-		e.conn.Go(e.peers[to], "coh.evict", note, ctrlSize, 0)
+		e.conn.Go(p, e.peers[to], "coh.evict", note, ctrlSize, 0)
 		return nil, 0
 	}
 	ent, ok := e.dir[note.Key]

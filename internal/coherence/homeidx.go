@@ -1,0 +1,134 @@
+package coherence
+
+import (
+	"strconv"
+
+	"repro/internal/cache"
+)
+
+// homeIndex memoizes home() results in a fixed-stride, index-only slot
+// array (the fmcache pattern): a lookup touches at most idxProbe slots of
+// plain integers — no string formatting, no hash-object allocation, no
+// per-entry directory state — so the common repeated-key case on the
+// read/write hot path filters in a handful of compares. Misses fall back
+// to the full rendezvous hash plus the migration-override map and install
+// their result.
+//
+// Correctness: the index is a pure cache of (key → home). Any event that
+// can change a home — a learned or installed migration override, or a
+// membership change — bumps gen, which invalidates every slot at once
+// (migrations are rare; revalidating the whole index costs one increment).
+// home() takes no virtual time, so the index is invisible to simulation
+// timing and determinism.
+
+const (
+	idxSlots = 1 << 14 // fixed footprint: 16384 slots
+	idxProbe = 8       // bounded linear probe
+)
+
+// idxSlot is one fixed-stride entry. vol is an interned volume id plus one
+// (zero marks an empty slot); gen must match the index generation for the
+// slot to be live.
+type idxSlot struct {
+	lba  int64
+	vol  uint32
+	gen  uint32
+	home int32
+}
+
+type homeIndex struct {
+	slots [idxSlots]idxSlot
+	gen   uint32
+	vols  map[string]uint32 // volume name → interned id
+	hits  int64
+	miss  int64
+}
+
+func newHomeIndex() *homeIndex {
+	return &homeIndex{gen: 1, vols: make(map[string]uint32)}
+}
+
+// invalidate drops every cached mapping in O(1) by advancing the
+// generation stamp.
+func (ix *homeIndex) invalidate() { ix.gen++ }
+
+// slotHash mixes (vol, lba) into a well-spread slot index (splitmix-style
+// finalizer; cheap and allocation-free).
+func slotHash(vol uint32, lba int64) uint64 {
+	x := uint64(vol)<<32 ^ uint64(lba)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// lookup returns the cached home for key, if present and current.
+func (ix *homeIndex) lookup(key cache.Key) (int, bool) {
+	vid, ok := ix.vols[key.Vol]
+	if !ok {
+		ix.miss++
+		return 0, false
+	}
+	h := slotHash(vid, key.LBA)
+	for i := 0; i < idxProbe; i++ {
+		s := &ix.slots[(h+uint64(i))&(idxSlots-1)]
+		if s.vol == vid+1 && s.lba == key.LBA && s.gen == ix.gen {
+			ix.hits++
+			return int(s.home), true
+		}
+	}
+	ix.miss++
+	return 0, false
+}
+
+// install caches key → home, preferring an empty or stale slot in the
+// probe window and displacing the primary slot when the window is full of
+// live entries.
+func (ix *homeIndex) install(key cache.Key, home int) {
+	vid, ok := ix.vols[key.Vol]
+	if !ok {
+		vid = uint32(len(ix.vols))
+		ix.vols[key.Vol] = vid
+	}
+	h := slotHash(vid, key.LBA)
+	target := &ix.slots[h&(idxSlots-1)]
+	for i := 0; i < idxProbe; i++ {
+		s := &ix.slots[(h+uint64(i))&(idxSlots-1)]
+		if s.vol == 0 || s.gen != ix.gen {
+			target = s
+			break
+		}
+		if s.vol == vid+1 && s.lba == key.LBA {
+			target = s
+			break
+		}
+	}
+	*target = idxSlot{lba: key.LBA, vol: vid + 1, gen: ix.gen, home: int32(home)}
+}
+
+// fnv1a64 constants (hash/fnv), inlined so keyHash stays allocation-free.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// keyHash reproduces exactly the historical home hash — fnv.New64a fed
+// fmt.Fprintf("%s/%d", Vol, LBA) — without the writer or the formatter, so
+// index misses stay off the allocator too.
+func keyHash(key cache.Key) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key.Vol); i++ {
+		h ^= uint64(key.Vol[i])
+		h *= fnvPrime64
+	}
+	h ^= '/'
+	h *= fnvPrime64
+	var buf [20]byte
+	for _, c := range strconv.AppendInt(buf[:0], key.LBA, 10) {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}

@@ -77,6 +77,14 @@ type Config struct {
 	// every disk and every blade's CPU. The subsystem starts disabled;
 	// flip it with Cluster.QoS.SetEnabled (yottactl `qos on`).
 	QoS *qos.Config
+	// FabricBatch enables the batched fabric plane at construction:
+	// frame coalescing on every blade's RPC connection plus the
+	// vectorized coherence protocol for client ops. Toggle at runtime
+	// with Cluster.SetFabricBatch (yottactl `batch on|off`).
+	FabricBatch bool
+	// FabricBatchPolicy tunes frame coalescing; zero fields select the
+	// simnet defaults (10 µs window, 16 messages, 64 KiB).
+	FabricBatchPolicy simnet.BatchPolicy
 }
 
 // DefaultConfig returns a mid-size lab configuration: 4 blades, RAID-5
@@ -267,8 +275,28 @@ func New(k *sim.Kernel, cfg Config) (*Cluster, error) {
 	if cfg.FabricFaults != nil {
 		c.SetFaultPlan(*cfg.FabricFaults)
 	}
+	if cfg.FabricBatch {
+		c.SetFabricBatch(true)
+	}
 	c.registerTelemetry()
 	return c, nil
+}
+
+// SetFabricBatch flips the batched fabric plane on every blade: frame
+// coalescing on the RPC connection and the vectorized coherence protocol
+// for client reads/writes. Turning it off flushes any queued frames, so
+// the toggle is safe mid-run (yottactl `batch on|off`).
+func (c *Cluster) SetFabricBatch(on bool) {
+	for _, b := range c.Blades {
+		b.Conn.SetBatching(on, c.Cfg.FabricBatchPolicy)
+		b.Engine.SetBatched(on)
+	}
+}
+
+// FabricBatched reports whether the batched fabric plane is active (the
+// blades toggle together, so blade 0 speaks for the cluster).
+func (c *Cluster) FabricBatched() bool {
+	return len(c.Blades) > 0 && c.Blades[0].Engine.Batched()
 }
 
 // registerTelemetry builds the cluster's named registry: cluster-level
@@ -454,25 +482,43 @@ func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, 
 	pop := root.Push(p)
 	bs := c.BlockSize()
 	buf := make([]byte, count*bs)
-	grp := sim.NewGroup(c.K)
 	var firstErr error
-	for i := 0; i < count; i++ {
-		i := i
-		grp.Add(1)
-		c.K.Go("read", func(q *sim.Proc) {
-			defer grp.Done()
-			d, err := b.Engine.ReadBlock(q, cache.Key{Vol: vol, LBA: lba + int64(i)}, priority)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
+	if b.Engine.Batched() {
+		// Batched plane: one vectorized coherence op resolves every block;
+		// the engine fans misses out per home and keeps disk parallelism.
+		keys := make([]cache.Key, count)
+		for i := range keys {
+			keys[i] = cache.Key{Vol: vol, LBA: lba + int64(i)}
+		}
+		out, err := b.Engine.ReadBlocksBatched(p, keys, priority)
+		if err != nil {
+			firstErr = err
+		} else {
+			for i, d := range out {
+				copy(buf[i*bs:], d)
 			}
-			copy(buf[i*bs:], d)
-		})
+		}
+		pop()
+	} else {
+		grp := sim.NewGroup(c.K)
+		for i := 0; i < count; i++ {
+			i := i
+			grp.Add(1)
+			c.K.Go("read", func(q *sim.Proc) {
+				defer grp.Done()
+				d, err := b.Engine.ReadBlock(q, cache.Key{Vol: vol, LBA: lba + int64(i)}, priority)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				copy(buf[i*bs:], d)
+			})
+		}
+		pop()
+		grp.Wait(p)
 	}
-	pop()
-	grp.Wait(p)
 	root.End()
 	c.opLatency.Observe(p.Now().Sub(t0))
 	b.Ops += int64(count)
@@ -510,21 +556,32 @@ func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []by
 	}
 	t0 := p.Now()
 	pop := root.Push(p)
-	grp := sim.NewGroup(c.K)
 	var firstErr error
-	for i := 0; i < count; i++ {
-		i := i
-		grp.Add(1)
-		c.K.Go("write", func(q *sim.Proc) {
-			defer grp.Done()
-			err := b.Engine.WriteBlockR(q, cache.Key{Vol: vol, LBA: lba + int64(i)}, data[i*bs:(i+1)*bs], priority, replFactor)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-		})
+	if b.Engine.Batched() {
+		keys := make([]cache.Key, count)
+		blocks := make([][]byte, count)
+		for i := range keys {
+			keys[i] = cache.Key{Vol: vol, LBA: lba + int64(i)}
+			blocks[i] = data[i*bs : (i+1)*bs]
+		}
+		firstErr = b.Engine.WriteBlocksBatched(p, keys, blocks, priority, replFactor)
+		pop()
+	} else {
+		grp := sim.NewGroup(c.K)
+		for i := 0; i < count; i++ {
+			i := i
+			grp.Add(1)
+			c.K.Go("write", func(q *sim.Proc) {
+				defer grp.Done()
+				err := b.Engine.WriteBlockR(q, cache.Key{Vol: vol, LBA: lba + int64(i)}, data[i*bs:(i+1)*bs], priority, replFactor)
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+			})
+		}
+		pop()
+		grp.Wait(p)
 	}
-	pop()
-	grp.Wait(p)
 	root.End()
 	c.opLatency.Observe(p.Now().Sub(t0))
 	b.Ops += int64(count)

@@ -98,6 +98,14 @@ type Options struct {
 	// subsystem starts disabled; System.QoS.SetEnabled (yottactl `qos on`)
 	// flips it.
 	QoS *qos.Config
+	// FabricBatch enables the batched fabric plane from construction:
+	// frame coalescing on every blade's RPC connection plus vectorized
+	// coherence ops. Off by default — the unbatched plane is bit-exact
+	// with prior builds; toggle at runtime with Cluster.SetFabricBatch
+	// (yottactl `batch on|off`).
+	FabricBatch bool
+	// FabricBatchPolicy tunes coalescing (zero fields = simnet defaults).
+	FabricBatchPolicy simnet.BatchPolicy
 }
 
 func (o *Options) fillDefaults() {
@@ -176,6 +184,8 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 	cfg.FabricRetry = opts.FabricRetry
 	cfg.FabricFaults = opts.FabricFaults
 	cfg.QoS = opts.QoS
+	cfg.FabricBatch = opts.FabricBatch
+	cfg.FabricBatchPolicy = opts.FabricBatchPolicy
 	var tracer *trace.Tracer
 	if opts.Trace {
 		tracer = trace.NewTracer(k)

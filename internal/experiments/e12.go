@@ -206,8 +206,9 @@ func RunE12(seed int64) E12Result {
 }
 
 // E12 renders the experiment table.
-func E12(seed int64) *metrics.Table {
-	r := RunE12(seed)
+func E12(seed int64) *metrics.Table { return e12Table(RunE12(seed)) }
+
+func e12Table(r E12Result) *metrics.Table {
 	tab := metrics.NewTable("E12 — §2.2/§6.3: adaptive hot-spot rebalancing under static-path routing",
 		"workload", "balancing", "ops/s", "MB/s", "load CV", "max/mean")
 	tab.AddRow("uniform", "off", int64(r.Uniform.OpsPerSec), fmtF(r.Uniform.MBps), fmtF(r.Uniform.CV), fmtF(r.Uniform.Ratio))

@@ -59,18 +59,48 @@ type Snapshot struct {
 	QoS       QoSSummary                `json:"qos"`
 }
 
+// BatchComparison is the PR6 perf record: the canonical snapshot workload
+// run unbatched (bit-exact with prior builds) and again with the batched
+// fabric plane — frame coalescing plus vectorized coherence ops — under
+// the same seed, with the headline fabric-tail reduction precomputed.
+type BatchComparison struct {
+	Unbatched             Snapshot `json:"unbatched"`
+	Batched               Snapshot `json:"batched"`
+	FabricP99ReductionPct float64  `json:"fabric_p99_reduction_pct"`
+	OpP99ReductionPct     float64  `json:"op_p99_reduction_pct"`
+}
+
 // PerfSnapshot runs the canonical snapshot workload — an 8-blade cluster
 // under a mixed read/write closed loop with tracing on — and returns the
 // per-phase summary plus the E12 balance and E13 QoS summaries.
 // Deterministic per seed.
-func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true, true) }
+func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true, true, false) }
+
+// PerfSnapshotBatched is PerfSnapshot on the batched fabric plane,
+// without the E12/E13 arms (they characterize orthogonal subsystems).
+func PerfSnapshotBatched(seed int64) Snapshot { return perfSnapshot(seed, false, false, true) }
+
+// RunBatchComparison builds the PR6 record: same seed, same workload,
+// unbatched then batched, plus headline reductions.
+func RunBatchComparison(seed int64) BatchComparison {
+	un := perfSnapshot(seed, true, true, false)
+	ba := perfSnapshot(seed, false, false, true)
+	cmp := BatchComparison{Unbatched: un, Batched: ba}
+	if f, ok := un.Phases["fabric"]; ok && f.P99Ms > 0 {
+		cmp.FabricP99ReductionPct = 100 * (f.P99Ms - ba.Phases["fabric"].P99Ms) / f.P99Ms
+	}
+	if un.P99Ms > 0 {
+		cmp.OpP99ReductionPct = 100 * (un.P99Ms - ba.P99Ms) / un.P99Ms
+	}
+	return cmp
+}
 
 // perfSnapshot optionally skips the E12 and E13 arms: the snapshot tests
 // double-run the builder to prove determinism, and paying for second full
 // E12/E13 runs there would duplicate what TestE12Deterministic and
 // TestE13Deterministic already assert while pushing the package past the
 // default go-test timeout.
-func perfSnapshot(seed int64, withBalance, withQoS bool) Snapshot {
+func perfSnapshot(seed int64, withBalance, withQoS, batched bool) Snapshot {
 	const (
 		blades  = 8
 		clients = 32
@@ -79,6 +109,7 @@ func perfSnapshot(seed int64, withBalance, withQoS bool) Snapshot {
 	)
 	k := sim.NewKernel(seed)
 	cfg := clusterConfig(blades)
+	cfg.FabricBatch = batched
 	tracer := trace.NewTracer(k)
 	cfg.Tracer = tracer
 	c, err := controllerNew(k, cfg)

@@ -187,13 +187,13 @@ func (m *Manager) ReplicateDirty(p *sim.Proc, key cache.Key, data []byte, versio
 
 // OnClean releases replicas after the owner destaged version. It has the
 // exact signature of coherence.Config.OnClean and is fire-and-forget.
-func (m *Manager) OnClean(key cache.Key, version uint64) {
+func (m *Manager) OnClean(p *sim.Proc, key cache.Key, version uint64) {
 	targets, ok := m.placed[key]
 	if !ok {
 		targets = m.buddies(key, 0)
 	}
 	for _, b := range targets {
-		m.conn.Go(m.peers[b], "repl.drop",
+		m.conn.Go(p, m.peers[b], "repl.drop",
 			dropReq{Key: key, Owner: m.self, Version: version}, ctrlSize, 0)
 	}
 	m.Drops++

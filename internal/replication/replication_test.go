@@ -116,7 +116,7 @@ func TestDropReleasesReplicas(t *testing.T) {
 	r := newRig(4, 2)
 	r.run(func(p *sim.Proc) {
 		r.mgrs[0].ReplicateDirty(p, key(5), data(9), 3, 0)
-		r.mgrs[0].OnClean(key(5), 3)
+		r.mgrs[0].OnClean(p, key(5), 3)
 		p.Sleep(sim.Millisecond) // let async drops land
 	})
 	for i := 1; i < 4; i++ {
@@ -130,7 +130,7 @@ func TestStaleDropIgnored(t *testing.T) {
 	r := newRig(4, 2)
 	r.run(func(p *sim.Proc) {
 		r.mgrs[0].ReplicateDirty(p, key(5), data(9), 7, 0) // version 7
-		r.mgrs[0].OnClean(key(5), 3)                       // stale destage of v3
+		r.mgrs[0].OnClean(p, key(5), 3)                    // stale destage of v3
 		p.Sleep(sim.Millisecond)
 	})
 	total := 0

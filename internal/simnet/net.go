@@ -197,6 +197,17 @@ func (n *Network) SetDown(addr Addr, down bool) { n.down[addr] = down }
 // Down reports whether addr is marked down.
 func (n *Network) Down(addr Addr) bool { return n.down[addr] }
 
+// Reachable reports whether a message from→to would be accepted right now:
+// both endpoints up and a route between them. It mirrors Send's admission
+// check without transmitting anything (used by frame coalescing to fail
+// fast at enqueue time).
+func (n *Network) Reachable(from, to Addr) bool {
+	if n.down[from] || n.down[to] {
+		return false
+	}
+	return n.path(from, to) != nil
+}
+
 // LinkBytes reports the bytes carried so far on the a→b link.
 func (n *Network) LinkBytes(a, b Addr) int64 {
 	if l, ok := n.links[[2]Addr{a, b}]; ok {

@@ -338,8 +338,8 @@ func TestRPCAsyncGo(t *testing.T) {
 	cli := NewConn(n, "c")
 	var sum int
 	k.Go("caller", func(p *sim.Proc) {
-		f1 := cli.Go("s", "one", nil, 0, 0)
-		f2 := cli.Go("s", "one", nil, 0, 0)
+		f1 := cli.Go(p, "s", "one", nil, 0, 0)
+		f2 := cli.Go(p, "s", "one", nil, 0, 0)
 		sum = f1.Wait(p).(int) + f2.Wait(p).(int)
 	})
 	k.Run()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -52,6 +53,36 @@ func (c *Conn) RegisterTelemetry(s telemetry.Scope) {
 	s.Int("retries", func() int64 { return c.stats.Retries })
 	s.Int("gave_up", func() int64 { return c.stats.GaveUp })
 	s.Int("served", func() int64 { return c.served })
+	b := s.Sub("batch")
+	b.Int("frames", func() int64 { return c.bstats.Frames })
+	b.Int("messages", func() int64 { return c.bstats.Messages })
+	b.Int("piggybacked", func() int64 { return c.bstats.Piggybacked })
+	// Occupancy samples are message counts (not durations), so publish the
+	// derived series directly instead of a ms-scaled histogram.
+	b.Func("occupancy_mean", func() float64 {
+		if c.occupancy == nil {
+			return 0
+		}
+		return float64(c.occupancy.Mean())
+	})
+	b.Func("occupancy_p99", func() float64 {
+		if c.occupancy == nil {
+			return 0
+		}
+		return float64(c.occupancy.Quantile(0.99))
+	})
+	b.Func("delay_mean_ms", func() float64 {
+		if c.batchDelay == nil {
+			return 0
+		}
+		return c.batchDelay.Mean().Millis()
+	})
+	b.Func("delay_p99_ms", func() float64 {
+		if c.batchDelay == nil {
+			return 0
+		}
+		return c.batchDelay.P99().Millis()
+	})
 }
 
 // Handler serves one RPC method. It runs in its own simulation process, so
@@ -89,9 +120,50 @@ type Conn struct {
 	// served counts requests handled, for load-balance accounting.
 	served int64
 	stats  RPCStats
-	// seen suppresses network-duplicated requests (tracked only while the
-	// fabric injects faults, so the fault-free path stays allocation-free).
-	seen map[reqKey]bool
+	// seenCur/seenPrev suppress network-duplicated requests. Ids are
+	// recorded only while the fabric injects faults (the fault-free path
+	// stays allocation-free) but membership is checked on every delivery,
+	// so a duplicate whose first copy arrived under faults is still
+	// suppressed after the fault plan clears. Two fixed-size generations
+	// bound the memory: when the current generation fills, it becomes the
+	// previous one and the oldest ids age out.
+	seenCur  map[reqKey]struct{}
+	seenPrev map[reqKey]struct{}
+
+	// Frame coalescing state (see batch.go). All zero when batching is off.
+	batching   bool
+	pol        BatchPolicy
+	outq       map[Addr]*peerQueue
+	bstats     BatchStats
+	occupancy  *metrics.Histogram
+	batchDelay *metrics.Histogram
+}
+
+// seenGenCap bounds each duplicate-suppression generation; the window
+// covers between seenGenCap and 2*seenGenCap of the most recent faulted
+// request ids.
+const seenGenCap = 8192
+
+// dupSeen reports whether rk was already delivered within the suppression
+// window. Nil-map lookups are free, so the fault-free path pays only this.
+func (c *Conn) dupSeen(rk reqKey) bool {
+	if _, ok := c.seenCur[rk]; ok {
+		return true
+	}
+	_, ok := c.seenPrev[rk]
+	return ok
+}
+
+// noteSeen records rk, rotating generations once the current one fills.
+func (c *Conn) noteSeen(rk reqKey) {
+	if c.seenCur == nil {
+		c.seenCur = make(map[reqKey]struct{})
+	}
+	if len(c.seenCur) >= seenGenCap {
+		c.seenPrev = c.seenCur
+		c.seenCur = make(map[reqKey]struct{})
+	}
+	c.seenCur[rk] = struct{}{}
 }
 
 type reqKey struct {
@@ -127,8 +199,18 @@ func (c *Conn) Stats() RPCStats { return c.stats }
 func (c *Conn) Register(method string, h Handler) { c.handlers[method] = h }
 
 func (c *Conn) onMessage(msg Message) {
+	if fr, ok := msg.Payload.(rpcFrame); ok {
+		for _, it := range fr.items {
+			c.dispatch(msg.From, it.payload)
+		}
+		return
+	}
+	c.dispatch(msg.From, msg.Payload)
+}
+
+func (c *Conn) dispatch(from Addr, payload any) {
 	k := c.ep.Network().Kernel()
-	switch m := msg.Payload.(type) {
+	switch m := payload.(type) {
 	case rpcRequest:
 		h, ok := c.handlers[m.method]
 		if !ok {
@@ -136,16 +218,15 @@ func (c *Conn) onMessage(msg Message) {
 		}
 		// Under fault injection the fabric may deliver a request twice;
 		// execute it once (the lost-reply case is covered by the caller's
-		// retry, which uses a fresh request id).
+		// retry, which uses a fresh request id). The membership check is
+		// unconditional: a duplicate whose first copy arrived while faults
+		// were active must stay suppressed even after the plan clears.
+		rk := reqKey{from: from, id: m.id}
+		if c.dupSeen(rk) {
+			return
+		}
 		if c.ep.Network().FaultsActive() {
-			if c.seen == nil {
-				c.seen = make(map[reqKey]bool)
-			}
-			rk := reqKey{from: msg.From, id: m.id}
-			if c.seen[rk] {
-				return
-			}
-			c.seen[rk] = true
+			c.noteSeen(rk)
 		}
 		c.served++
 		k.Go(string(c.Addr())+"/"+m.method, func(p *sim.Proc) {
@@ -157,8 +238,8 @@ func (c *Conn) onMessage(msg Message) {
 			if m.qctx != (qos.Ctx{}) {
 				qos.SetCtx(p, m.qctx)
 			}
-			result, size := h(p, msg.From, m.args)
-			c.ep.Send(msg.From, rpcReply{id: m.id, result: result}, size)
+			result, size := h(p, from, m.args)
+			c.send(from, rpcReply{id: m.id, result: result}, size)
 		})
 	case rpcReply:
 		if f, ok := c.pending[m.id]; ok {
@@ -166,7 +247,7 @@ func (c *Conn) onMessage(msg Message) {
 			f.Set(m.result)
 		}
 	default:
-		panic(fmt.Sprintf("simnet: %s received non-RPC payload %T", c.Addr(), msg.Payload))
+		panic(fmt.Sprintf("simnet: %s received non-RPC payload %T", c.Addr(), payload))
 	}
 }
 
@@ -186,7 +267,7 @@ func (c *Conn) CallTimeout(p *sim.Proc, dst Addr, method string, args any, argSi
 	sp := trace.FromProc(p).Child("rpc:"+method, trace.Fabric, string(dst))
 	f := sim.NewFuture[any](k)
 	c.pending[id] = f
-	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args, tctx: sp.Ctx(), qctx: qos.FromProc(p)}, argSize) {
+	if !c.send(dst, rpcRequest{id: id, method: method, args: args, tctx: sp.Ctx(), qctx: qos.FromProc(p)}, argSize) {
 		delete(c.pending, id)
 		sp.Detail("unreachable").End()
 		return nil, ErrUnreachable
@@ -236,6 +317,9 @@ func (c *Conn) CallRetry(p *sim.Proc, dst Addr, method string, args any, argSize
 			}
 			p.Sleep(d)
 			backoff *= 2
+			// Count the retry only after the backoff completes: a proc
+			// killed mid-sleep unwinds out of Sleep and must not record a
+			// re-attempt that never went on the wire.
 			c.stats.Retries++
 		}
 		result, err := c.CallTimeout(p, dst, method, args, argSize, pol.Timeout)
@@ -253,12 +337,18 @@ func (c *Conn) CallRetry(p *sim.Proc, dst Addr, method string, args any, argSize
 
 // Go starts an asynchronous call, returning a future that yields the reply
 // payload (nil on unreachable/timeout paths — use Call for error detail).
-func (c *Conn) Go(dst Addr, method string, args any, argSize int, timeout sim.Duration) *sim.Future[any] {
+// The caller's trace and QoS contexts propagate exactly as CallTimeout's
+// do, so async pushes stay inside the caller's trace and remote handler
+// time is charged to the caller's lane; p may be nil for callers running
+// outside any process (the span is then simply absent).
+func (c *Conn) Go(p *sim.Proc, dst Addr, method string, args any, argSize int, timeout sim.Duration) *sim.Future[any] {
 	k := c.ep.Network().Kernel()
 	c.nextID++
 	id := c.nextID
 	f := sim.NewFuture[any](k)
-	if !c.ep.Send(dst, rpcRequest{id: id, method: method, args: args}, argSize) {
+	sp := trace.FromProc(p).Child("rpc:"+method, trace.Fabric, string(dst))
+	if !c.send(dst, rpcRequest{id: id, method: method, args: args, tctx: sp.Ctx(), qctx: qos.FromProc(p)}, argSize) {
+		sp.Detail("unreachable").End()
 		f.Set(nil)
 		return f
 	}
@@ -270,6 +360,18 @@ func (c *Conn) Go(dst Addr, method string, args any, argSize int, timeout sim.Du
 				f.Set(nil)
 			}
 		})
+	}
+	if sp != nil {
+		if timeout > 0 {
+			f.OnDone(func(any) { sp.End() })
+		} else {
+			// Fire-and-forget: no deadline means no caller observes the
+			// completion, and the reply may land after the enclosing op's
+			// root span has closed. An instant span marks the dispatch
+			// (keeping child spans nested inside their parents); the
+			// handler still adopts the propagated context.
+			sp.End()
+		}
 	}
 	return f
 }
