@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke batch-smoke bench-check
+.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke batch-smoke governor-smoke bench-check
 
 all: verify
 
@@ -25,21 +25,28 @@ bench:
 
 # snapshot writes the per-PR perf record: the canonical workload run
 # unbatched and on the batched fabric plane (per-phase p50/p99 +
-# throughput, plus the E12 balance and E13 QoS summaries), diffed
-# against the previous PR's committed record.
+# throughput, plus the E12 balance, E13 QoS and E14 governor summaries),
+# diffed against the previous PR's committed record.
 snapshot:
-	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR6.json -baseline BENCH_PR5.json
+	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR7.json -baseline BENCH_PR6.json
 
 # bench-check regenerates the snapshot into a scratch file and diffs it
-# against the committed BENCH_PR6.json: a fabric p99 regression over 10%
-# on either plane fails loudly.
+# against the committed BENCH_PR7.json: a fabric p99 regression over 10%
+# on either plane — or an E14 PI victim p99 regression over 10% — fails
+# loudly.
 bench-check:
-	$(GO) run ./cmd/benchrunner -snapshot /tmp/bench_check.json -baseline BENCH_PR6.json
+	$(GO) run ./cmd/benchrunner -snapshot /tmp/bench_check.json -baseline BENCH_PR7.json
 
 # qos-smoke runs the reduced-scale multi-tenant isolation experiment —
 # the CI gate that admission control and fair queueing still isolate.
 qos-smoke:
 	$(GO) run ./cmd/benchrunner -only E13Q
+
+# governor-smoke runs the reduced-scale governor step-response A/B: the
+# per-tenant PI controller against the legacy halve/double law under
+# identical step and burst aggressors.
+governor-smoke:
+	$(GO) run ./cmd/benchrunner -only E14Q
 
 # batch-smoke is the CI gate for the batched fabric plane: frame
 # coalescing semantics, the batched/unbatched convergence property, and

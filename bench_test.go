@@ -94,3 +94,8 @@ func BenchmarkA4ReadAhead(b *testing.B) { runExperiment(b, experiments.A4ReadAhe
 // weighted-fair scheduling defending a victim tenant's p99 against an
 // aggressor plus a concurrent rebuild.
 func BenchmarkE13QoSIsolation(b *testing.B) { runExperiment(b, experiments.E13) }
+
+// BenchmarkE14GovernorStepResponse — governor A/B: the PR5 halve/double
+// law against the per-tenant PI controller under identical step and burst
+// aggressor loads.
+func BenchmarkE14GovernorStepResponse(b *testing.B) { runExperiment(b, experiments.E14) }

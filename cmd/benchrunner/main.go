@@ -10,7 +10,9 @@
 // the batched fabric plane — and writes a JSON comparison record instead
 // of the tables, so each PR can commit a comparable BENCH_PRn.json.
 // -baseline diffs the fresh record against a committed one and exits
-// non-zero if the fabric p99 regressed more than 10% on either plane.
+// non-zero if the fabric p99 regressed more than 10% on either plane, or
+// if the E14 PI governor's victim p99 (loaded phase, reduced scale)
+// regressed more than 10%.
 package main
 
 import (
@@ -43,6 +45,8 @@ var runners = []struct {
 	{"E12", "§2.2/§6.3: adaptive hot-spot rebalancing", experiments.E12},
 	{"E13", "§2.4/§4: multi-tenant QoS isolation under rebuild", experiments.E13},
 	{"E13Q", "reduced-scale QoS isolation smoke (CI)", experiments.E13Q},
+	{"E14", "governor step response: halve/double vs per-tenant PI control", experiments.E14},
+	{"E14Q", "reduced-scale governor step-response smoke (CI)", experiments.E14Q},
 	{"A1", "ablation: remote-read prefetch on/off", experiments.A1Prefetch},
 	{"A2", "ablation: cache-to-cache transfers on/off", experiments.A2PeerFetch},
 	{"A3", "ablation: write latency vs replication factor", experiments.A3ReplicationCost},
@@ -157,7 +161,25 @@ func diffBaseline(path string, fresh experiments.BatchComparison) error {
 		return err
 	}
 	if len(base.Batched.Phases) > 0 {
-		return check("batched", base.Batched, fresh.Batched)
+		if err := check("batched", base.Batched, fresh.Batched); err != nil {
+			return err
+		}
+	}
+	return checkGovernor(base.Unbatched.Governor, fresh.Unbatched.Governor)
+}
+
+// checkGovernor guards the PI governor's victim tail: pre-PR7 baselines
+// carry no governor summary and are skipped.
+func checkGovernor(base, fresh experiments.GovernorSummary) error {
+	if base.PIVictimP99Ms <= 0 || fresh.PIVictimP99Ms <= 0 {
+		return nil
+	}
+	growth := 100 * (fresh.PIVictimP99Ms - base.PIVictimP99Ms) / base.PIVictimP99Ms
+	fmt.Printf("  E14 PI victim p99: baseline %.3f ms, now %.3f ms (%+.1f%%)\n",
+		base.PIVictimP99Ms, fresh.PIVictimP99Ms, growth)
+	if growth > maxFabricRegressPct {
+		return fmt.Errorf("E14 PI victim p99 regressed %.1f%% (baseline %.3f ms → %.3f ms, limit +%.0f%%)",
+			growth, base.PIVictimP99Ms, fresh.PIVictimP99Ms, maxFabricRegressPct)
 	}
 	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The -baseline governor gate: regressions of the E14 PI arm's victim
+// p99 beyond the limit must fail, anything at or under it must pass,
+// and pre-PR7 baselines (no governor summary) are skipped.
+func TestCheckGovernorGate(t *testing.T) {
+	base := experiments.GovernorSummary{PIVictimP99Ms: 50}
+	if err := checkGovernor(base, experiments.GovernorSummary{PIVictimP99Ms: 50 * 1.09}); err != nil {
+		t.Fatalf("9%% growth should pass: %v", err)
+	}
+	if err := checkGovernor(base, experiments.GovernorSummary{PIVictimP99Ms: 50 * 1.12}); err == nil {
+		t.Fatal("12% growth should fail the gate")
+	}
+	if err := checkGovernor(base, experiments.GovernorSummary{PIVictimP99Ms: 40}); err != nil {
+		t.Fatalf("improvement should pass: %v", err)
+	}
+	if err := checkGovernor(experiments.GovernorSummary{}, experiments.GovernorSummary{PIVictimP99Ms: 50}); err != nil {
+		t.Fatalf("old baseline without governor summary must be skipped: %v", err)
+	}
+	if err := checkGovernor(base, experiments.GovernorSummary{}); err != nil {
+		t.Fatalf("fresh run without governor summary must be skipped: %v", err)
+	}
+}

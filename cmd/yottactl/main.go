@@ -160,10 +160,11 @@ func main() {
 		Balance:    true,
 		// QoS plumbing is installed but disabled until a script says
 		// `qos on`. The demo tenant's bucket is sized small enough that a
-		// busy script can see delays in `qos report`.
+		// busy script can see delays in `qos report`, and its SLOP99 gives
+		// the PI governor a per-tenant loop to show in the report.
 		QoS: &qos.Config{
 			Tenants: map[string]qos.TenantSpec{
-				"fusion": {Rate: 2000, Burst: 256, MaxQueue: 64},
+				"fusion": {Rate: 2000, Burst: 256, MaxQueue: 64, SLOP99: 50 * sim.Millisecond},
 			},
 		},
 	})

@@ -463,6 +463,17 @@ func (c *Cluster) admit(p *sim.Proc, priority, count int) error {
 	return c.QoS.Admit(p, qctx.Tenant, count)
 }
 
+// observeOp records one completed client op's latency: into the
+// cluster-wide histogram always, and into the calling tenant's SLO
+// histogram when QoS is configured — the signal the governor's per-tenant
+// PI loops regulate against.
+func (c *Cluster) observeOp(p *sim.Proc, d sim.Duration) {
+	c.opLatency.Observe(d)
+	if c.QoS != nil {
+		c.QoS.ObserveOp(qos.FromProc(p).Tenant, d)
+	}
+}
+
 // Read reads count blocks of volume vol at lba through blade b, running
 // per-block coherence operations in parallel.
 func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, priority int) ([]byte, error) {
@@ -520,7 +531,7 @@ func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, 
 		grp.Wait(p)
 	}
 	root.End()
-	c.opLatency.Observe(p.Now().Sub(t0))
+	c.observeOp(p, p.Now().Sub(t0))
 	b.Ops += int64(count)
 	if firstErr != nil {
 		c.Errors++
@@ -583,7 +594,7 @@ func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []by
 		grp.Wait(p)
 	}
 	root.End()
-	c.opLatency.Observe(p.Now().Sub(t0))
+	c.observeOp(p, p.Now().Sub(t0))
 	b.Ops += int64(count)
 	if firstErr != nil {
 		c.Errors++

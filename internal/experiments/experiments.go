@@ -154,6 +154,7 @@ func All(seed int64) []*metrics.Table {
 		E11(seed),
 		E12(seed),
 		E13(seed),
+		E14(seed),
 	}
 }
 

@@ -364,3 +364,82 @@ func TestE13Deterministic(t *testing.T) {
 		t.Fatalf("E13 not deterministic across runs with the same seed:\n--- run 1\n%s\n--- run 2\n%s", a, b)
 	}
 }
+
+// TestE14Quick checks the governor A/B acceptance claims at the reduced
+// scale (the same arms CI smokes via benchrunner -only E14Q). The step
+// arm must actually exhibit the halve/double pathology — SLO breaches
+// after onset — and the PI arm must settle strictly faster, breach in no
+// more windows, reverse actuation direction no more often, and hold the
+// victim's steady-state p99 within the SLO under both load shapes,
+// without starving the scrub.
+func TestE14Quick(t *testing.T) {
+	skipIfShort(t)
+	r := RunE14Quick(1)
+
+	// Premise: the aggressor genuinely breaches the SLO under both
+	// governors (otherwise there is nothing to regulate).
+	if r.Step.ViolationWindows == 0 || r.PI.ViolationWindows == 0 {
+		t.Fatalf("step aggressor never breached the SLO (step %d, pi %d violation windows); premise broken",
+			r.Step.ViolationWindows, r.PI.ViolationWindows)
+	}
+	// Both arms start parked at the ceiling and must actually actuate.
+	for _, a := range []E14Arm{r.Step, r.PI, r.BurstStep, r.BurstPI} {
+		if a.Narrows == 0 {
+			t.Fatalf("%s arm never narrowed the background lane", a.Mode)
+		}
+	}
+
+	// Step aggressor: faster settling, no more breaches, no more
+	// oscillation, steady state within the SLO.
+	if r.PI.ConvergeWindows >= r.Step.ConvergeWindows {
+		t.Fatalf("PI settled in %d windows, step in %d; want strictly faster",
+			r.PI.ConvergeWindows, r.Step.ConvergeWindows)
+	}
+	if r.PI.ViolationWindows > r.Step.ViolationWindows {
+		t.Fatalf("PI breached %d windows, step %d", r.PI.ViolationWindows, r.Step.ViolationWindows)
+	}
+	if r.PI.Reversals > r.Step.Reversals {
+		t.Fatalf("PI reversed actuation %d times, step %d", r.PI.Reversals, r.Step.Reversals)
+	}
+	if r.PI.SteadyP99 > r.Target {
+		t.Fatalf("PI steady-state p99 %.2fms exceeds SLO %.2fms",
+			r.PI.SteadyP99.Millis(), r.Target.Millis())
+	}
+
+	// Burst aggressor: pulses must not make the PI loop oscillate or
+	// breach more than the step governor.
+	if r.BurstPI.ConvergeWindows > r.BurstStep.ConvergeWindows {
+		t.Fatalf("burst PI settled in %d windows, step in %d",
+			r.BurstPI.ConvergeWindows, r.BurstStep.ConvergeWindows)
+	}
+	if r.BurstPI.ViolationWindows > r.BurstStep.ViolationWindows {
+		t.Fatalf("burst PI breached %d windows, step %d",
+			r.BurstPI.ViolationWindows, r.BurstStep.ViolationWindows)
+	}
+	if r.BurstPI.Reversals > r.BurstStep.Reversals {
+		t.Fatalf("burst PI reversed actuation %d times, step %d",
+			r.BurstPI.Reversals, r.BurstStep.Reversals)
+	}
+	if r.BurstPI.SteadyP99 > r.Target {
+		t.Fatalf("burst PI steady-state p99 %.2fms exceeds SLO %.2fms",
+			r.BurstPI.SteadyP99.Millis(), r.Target.Millis())
+	}
+
+	// The scrub must keep flowing: converging onto the setpoint should
+	// not cost more than a fifth of the step governor's harvest.
+	if float64(r.PI.ScrubChunks) < 0.8*float64(r.Step.ScrubChunks) {
+		t.Fatalf("PI scrub harvest %d chunks vs step %d; background starved",
+			r.PI.ScrubChunks, r.Step.ScrubChunks)
+	}
+}
+
+// TestE14Deterministic: two same-seed runs must render byte-identical
+// tables — every PI decision, weight trace glyph, and scrub count.
+func TestE14Deterministic(t *testing.T) {
+	skipIfShort(t)
+	a := E14Q(1).String()
+	b := E14Q(1).String()
+	if a != b {
+		t.Fatalf("E14 not deterministic across runs with the same seed:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}

@@ -42,6 +42,29 @@ type QoSSummary struct {
 	GovernorWidens  int64   `json:"governor_widens"`
 }
 
+// GovernorSummary condenses E14 — the governor step-response A/B at the
+// reduced CI scale — into the perf record: the per-tenant PI arm's
+// victim latency and actuation-quality metrics next to the legacy
+// halve/double arm's, under the identical step aggressor, plus the PI
+// arm's burst-load oscillation count.
+type GovernorSummary struct {
+	SLOMs             float64 `json:"slo_ms"`
+	PIVictimP99Ms     float64 `json:"pi_victim_p99_ms"`
+	PISteadyP99Ms     float64 `json:"pi_steady_p99_ms"`
+	PISettleWindows   int     `json:"pi_settle_windows"`
+	PIViolations      int     `json:"pi_violations"`
+	PIReversals       int     `json:"pi_reversals"`
+	PIScrubChunks     int64   `json:"pi_scrub_chunks"`
+	StepVictimP99Ms   float64 `json:"step_victim_p99_ms"`
+	StepSteadyP99Ms   float64 `json:"step_steady_p99_ms"`
+	StepSettleWindows int     `json:"step_settle_windows"`
+	StepViolations    int     `json:"step_violations"`
+	StepReversals     int     `json:"step_reversals"`
+	StepScrubChunks   int64   `json:"step_scrub_chunks"`
+	BurstPIReversals  int     `json:"burst_pi_reversals"`
+	BurstPISteadyP99  float64 `json:"burst_pi_steady_p99_ms"`
+}
+
 // Snapshot is the machine-readable perf record benchrunner writes per PR
 // (BENCH_PRn.json), so the bench trajectory across PRs stays comparable:
 // canonical traced workload, per-phase latency quantiles, throughput.
@@ -57,6 +80,7 @@ type Snapshot struct {
 	Phases    map[string]PhaseQuantiles `json:"phases"`
 	Balance   BalanceSummary            `json:"balance"`
 	QoS       QoSSummary                `json:"qos"`
+	Governor  GovernorSummary           `json:"governor"`
 }
 
 // BatchComparison is the PR6 perf record: the canonical snapshot workload
@@ -74,17 +98,17 @@ type BatchComparison struct {
 // under a mixed read/write closed loop with tracing on — and returns the
 // per-phase summary plus the E12 balance and E13 QoS summaries.
 // Deterministic per seed.
-func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true, true, false) }
+func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true, true, true, false) }
 
 // PerfSnapshotBatched is PerfSnapshot on the batched fabric plane,
-// without the E12/E13 arms (they characterize orthogonal subsystems).
-func PerfSnapshotBatched(seed int64) Snapshot { return perfSnapshot(seed, false, false, true) }
+// without the E12/E13/E14 arms (they characterize orthogonal subsystems).
+func PerfSnapshotBatched(seed int64) Snapshot { return perfSnapshot(seed, false, false, false, true) }
 
 // RunBatchComparison builds the PR6 record: same seed, same workload,
 // unbatched then batched, plus headline reductions.
 func RunBatchComparison(seed int64) BatchComparison {
-	un := perfSnapshot(seed, true, true, false)
-	ba := perfSnapshot(seed, false, false, true)
+	un := perfSnapshot(seed, true, true, true, false)
+	ba := perfSnapshot(seed, false, false, false, true)
 	cmp := BatchComparison{Unbatched: un, Batched: ba}
 	if f, ok := un.Phases["fabric"]; ok && f.P99Ms > 0 {
 		cmp.FabricP99ReductionPct = 100 * (f.P99Ms - ba.Phases["fabric"].P99Ms) / f.P99Ms
@@ -95,12 +119,12 @@ func RunBatchComparison(seed int64) BatchComparison {
 	return cmp
 }
 
-// perfSnapshot optionally skips the E12 and E13 arms: the snapshot tests
-// double-run the builder to prove determinism, and paying for second full
-// E12/E13 runs there would duplicate what TestE12Deterministic and
-// TestE13Deterministic already assert while pushing the package past the
-// default go-test timeout.
-func perfSnapshot(seed int64, withBalance, withQoS, batched bool) Snapshot {
+// perfSnapshot optionally skips the E12, E13 and E14 arms: the snapshot
+// tests double-run the builder to prove determinism, and paying for
+// second full runs there would duplicate what TestE12Deterministic,
+// TestE13Deterministic and TestE14Deterministic already assert while
+// pushing the package past the default go-test timeout.
+func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, batched bool) Snapshot {
 	const (
 		blades  = 8
 		clients = 32
@@ -180,6 +204,26 @@ func perfSnapshot(seed int64, withBalance, withQoS, batched bool) Snapshot {
 			Delayed:         e13.On.Delayed,
 			GovernorNarrows: e13.On.Narrows,
 			GovernorWidens:  e13.On.Widens,
+		}
+	}
+	if withGovernor {
+		e14 := RunE14Quick(seed)
+		snap.Governor = GovernorSummary{
+			SLOMs:             e14.Target.Millis(),
+			PIVictimP99Ms:     e14.PI.VictimP99.Millis(),
+			PISteadyP99Ms:     e14.PI.SteadyP99.Millis(),
+			PISettleWindows:   e14.PI.ConvergeWindows,
+			PIViolations:      e14.PI.ViolationWindows,
+			PIReversals:       e14.PI.Reversals,
+			PIScrubChunks:     e14.PI.ScrubChunks,
+			StepVictimP99Ms:   e14.Step.VictimP99.Millis(),
+			StepSteadyP99Ms:   e14.Step.SteadyP99.Millis(),
+			StepSettleWindows: e14.Step.ConvergeWindows,
+			StepViolations:    e14.Step.ViolationWindows,
+			StepReversals:     e14.Step.Reversals,
+			StepScrubChunks:   e14.Step.ScrubChunks,
+			BurstPIReversals:  e14.BurstPI.Reversals,
+			BurstPISteadyP99:  e14.BurstPI.SteadyP99.Millis(),
 		}
 	}
 	return snap

@@ -48,12 +48,28 @@ type TenantStats struct {
 	WaitMs    float64
 }
 
+// DefaultMaxQueue is the wait-queue bound a rate-limited TenantSpec gets
+// when it leaves MaxQueue zero. A spec that only sets Rate/Burst wants
+// pacing, not a shed-everything-over-rate cliff; callers that really want
+// immediate sheds say so with a negative MaxQueue.
+const DefaultMaxQueue = 64
+
 // NewAdmission builds the stage (initially disabled) from the tenant
-// specs. Tenants with Rate <= 0 are pass-through.
+// specs, validating each one: tenants with Rate <= 0 are pass-through,
+// rate-limited specs with MaxQueue left zero get DefaultMaxQueue, and a
+// negative MaxQueue normalizes to 0 (no waiting — immediate shed when out
+// of tokens). Stats report the effective spec.
 func NewAdmission(k *sim.Kernel, specs map[string]TenantSpec) *Admission {
 	a := &Admission{k: k, buckets: make(map[string]*bucket), names: sortedTenants(specs)}
 	for _, n := range a.names {
-		a.buckets[n] = &bucket{spec: specs[n]}
+		spec := specs[n]
+		if spec.Rate > 0 && spec.MaxQueue == 0 {
+			spec.MaxQueue = DefaultMaxQueue
+		}
+		if spec.MaxQueue < 0 {
+			spec.MaxQueue = 0
+		}
+		a.buckets[n] = &bucket{spec: spec}
 	}
 	return a
 }
@@ -96,9 +112,17 @@ func (a *Admission) Admit(p *sim.Proc, tenant string, cost int) error {
 		return ErrThrottled
 	}
 	// Reserve the next emission slot now so later arrivals queue behind
-	// it, then sleep until the slot conforms.
+	// it, then sleep until the slot conforms. A non-positive wait cannot
+	// happen here (now < earliest strictly), but guard it anyway so a
+	// zero-wait op is counted as a plain admit — never as a Delayed op
+	// with zero waitTime, and never a Sleep(0) that would shuffle the
+	// event order for nothing.
 	b.tat = b.tat.Add(t)
 	wait := earliest.Sub(now)
+	if wait <= 0 {
+		b.admitted++
+		return nil
+	}
 	b.waiting++
 	p.Sleep(wait)
 	b.waiting--

@@ -109,6 +109,98 @@ func TestBucketPassThrough(t *testing.T) {
 	}
 }
 
+// TestBucketUnsetMaxQueueQueues is the MaxQueue-default regression: a spec
+// that only sets Rate/Burst must pace over-rate ops (DefaultMaxQueue
+// waiters), not shed every one of them the way the old zero-means-no-wait
+// reading did.
+func TestBucketUnsetMaxQueueQueues(t *testing.T) {
+	k := sim.NewKernel(1)
+	a := NewAdmission(k, map[string]TenantSpec{
+		"t": {Rate: 1000, Burst: 1}, // MaxQueue deliberately unset
+	})
+	a.SetEnabled(true)
+	var end sim.Time
+	k.Go("client", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if err := a.Admit(p, "t", 1); err != nil {
+				t.Errorf("op %d: %v (unset MaxQueue must queue, not shed)", i, err)
+			}
+		}
+		end = p.Now()
+	})
+	k.Run()
+	if want := sim.Time(0).Add(8 * sim.Millisecond); end != want {
+		t.Errorf("10 ops finished at %v, want %v (paced to rate)", end, want)
+	}
+	st := a.Stats()
+	if len(st) != 1 || st[0].Admitted != 10 || st[0].Delayed != 8 || st[0].Throttled != 0 {
+		t.Errorf("stats = %+v, want admitted 10 delayed 8 throttled 0", st)
+	}
+	if st[0].MaxQueue != DefaultMaxQueue {
+		t.Errorf("effective MaxQueue = %d, want DefaultMaxQueue %d", st[0].MaxQueue, DefaultMaxQueue)
+	}
+}
+
+// TestBucketUnsetMaxQueueStillBounded: the default is a bound, not
+// unlimited — concurrent arrivals beyond burst+DefaultMaxQueue still shed.
+func TestBucketUnsetMaxQueueStillBounded(t *testing.T) {
+	k := sim.NewKernel(1)
+	a := NewAdmission(k, map[string]TenantSpec{
+		"t": {Rate: 100, Burst: 1},
+	})
+	a.SetEnabled(true)
+	var admitted, throttled int
+	for i := 0; i < DefaultMaxQueue+6; i++ {
+		k.Go("client", func(p *sim.Proc) {
+			err := a.Admit(p, "t", 1)
+			switch {
+			case err == nil:
+				admitted++
+			case errors.Is(err, ErrThrottled):
+				throttled++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+	k.Run()
+	// Burst admits 2 instantly, DefaultMaxQueue waiters queue, the rest shed.
+	if admitted != DefaultMaxQueue+2 || throttled != 4 {
+		t.Errorf("admitted %d throttled %d, want %d/4", admitted, throttled, DefaultMaxQueue+2)
+	}
+}
+
+// TestBucketNegativeMaxQueueShedsImmediately: a negative MaxQueue is the
+// explicit opt-in to the old no-wait behaviour.
+func TestBucketNegativeMaxQueueShedsImmediately(t *testing.T) {
+	k := sim.NewKernel(1)
+	a := NewAdmission(k, map[string]TenantSpec{
+		"t": {Rate: 100, Burst: 1, MaxQueue: -1},
+	})
+	a.SetEnabled(true)
+	k.Go("client", func(p *sim.Proc) {
+		var admitted, throttled int
+		for i := 0; i < 5; i++ {
+			err := a.Admit(p, "t", 1)
+			switch {
+			case err == nil:
+				admitted++
+			case errors.Is(err, ErrThrottled):
+				throttled++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}
+		if admitted != 2 || throttled != 3 {
+			t.Errorf("admitted %d throttled %d, want 2/3", admitted, throttled)
+		}
+		if p.Now() != 0 {
+			t.Errorf("no-wait sheds consumed virtual time: now %v", p.Now())
+		}
+	})
+	k.Run()
+}
+
 // TestBucketDeterministic: same seed, same schedule, byte-identical
 // counters — the admission stage adds no nondeterminism.
 func TestBucketDeterministic(t *testing.T) {

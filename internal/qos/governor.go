@@ -2,6 +2,7 @@ package qos
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -13,36 +14,99 @@ import (
 // only slows it.
 const minBackgroundWeight = 0.05
 
+// Governor modes. GovPI (the default) drives the background weight
+// continuously from PI loops; GovStep is the PR5 halve/double threshold
+// governor, kept for A/B comparison (experiment E14).
+const (
+	GovPI   = "pi"
+	GovStep = "step"
+)
+
+// weightEps is the smallest background-weight move worth applying;
+// below it the actuation is noise (and would churn WFQ retagging).
+const weightEps = 0.0005
+
+// eventFrac is the fraction of the actuation range a weight move must
+// cross to be worth a traced event. The PI controller adjusts every
+// window; only meaningful moves should reach the event/trace stream.
+const eventFrac = 0.02
+
+// piFiltAlpha is the EWMA coefficient applied to each PI loop's
+// normalized error before it drives the gains. A windowed p99 is
+// quantized by histogram buckets (adjacent buckets are ~20% apart), so
+// the raw error jitters bucket-to-bucket even in steady state; filtering
+// keeps the actuator from chasing that quantization noise. The filter is
+// asymmetric (peak-hold): error rising above the filtered value is
+// believed at piFiltAlphaUp, falling error only at piFiltAlpha. A tail
+// SLO is about peaks, so a pulsed aggressor must be regulated at its
+// pulse peaks — a symmetric filter would average the on- and off-pulse
+// windows and hold a weight whose on-pulses still breach.
+const (
+	piFiltAlpha   = 0.35
+	piFiltAlphaUp = 0.6
+)
+
+// piDeadband is the filtered-error hold band: within ±piDeadband of the
+// setpoint the loop freezes its output instead of dithering the weight.
+// The halve/double governor's lack of exactly this hysteresis is what
+// makes it oscillate when the steady-state p99 lands near the threshold
+// (see E14).
+const piDeadband = 0.15
+
 // GovernorConfig tunes the feedback loop between the telemetry scraper
 // and the background lane's WFQ weight.
 type GovernorConfig struct {
-	// Hist names the latency histogram to watch (default
-	// "cluster/op_latency").
+	// Mode selects the control law: GovPI (default) or GovStep (the
+	// legacy halve/double governor, kept as the E14 comparison arm).
+	Mode string
+	// Hist names the latency histogram to watch for the cluster-wide
+	// objective (default "cluster/op_latency").
 	Hist string
-	// P99Target is the foreground latency objective the governor defends
+	// P99Target is the cluster-wide foreground latency objective
 	// (typically the SLO watchdog's own threshold). 0 disables the
-	// latency signal.
+	// cluster-wide latency loop; per-tenant TenantSpec.SLOP99 loops run
+	// regardless.
 	P99Target sim.Duration
-	// NearFrac is the fraction of P99Target at which the governor starts
-	// narrowing, before the SLO watchdog actually fires (default 0.8).
+	// NearFrac scales the setpoint below the objective: the governor
+	// regulates the windowed p99 to NearFrac×target, keeping headroom
+	// under the SLO rather than riding it (default 0.8). In step mode
+	// this is the narrow threshold, as in PR5.
 	NearFrac float64
+	// KP is the proportional gain of the PI loops: squeeze fraction per
+	// unit of normalized error (default 0.6). The error is EWMA-filtered
+	// and carries a ±10% hold band before the gains see it, so KP acts
+	// on trend, not on per-window p99 quantization noise. Ignored in
+	// step mode.
+	KP float64
+	// KI is the integral gain per window (default 0.2); the integral
+	// term is clamped to [0,1] (anti-windup) and bleeds off on thin
+	// windows so the lane recovers when load stops. Ignored in step mode.
+	KI float64
 	// QueuePattern matches per-disk queue-depth gauges (default
 	// "disk/*/queue_depth").
 	QueuePattern string
-	// QueueHigh is the mean per-disk queue depth that also counts as
-	// pressure (default 6; 0 keeps the default, negative disables).
+	// QueueHigh is the mean per-disk queue depth treated as full-scale
+	// pressure (default 6; 0 keeps the default, negative disables the
+	// queue loop).
 	QueueHigh float64
-	// MinCount is the fewest window samples needed to judge the p99
+	// MinCount is the fewest window samples needed to judge a p99
 	// (default 16).
 	MinCount int64
 	// CalmWindows is how many consecutive unpressured windows earn a
-	// widen step (default 2).
+	// widen step in step mode (default 2). Unused in PI mode.
 	CalmWindows int
-	// BGMax is the widest background weight the governor restores to
-	// (default 1).
+	// BGMax is the widest background weight — the actuation ceiling,
+	// held when no loop sees pressure (default 1).
 	BGMax float64
 	// BGMin is the narrowest it squeezes to (default 0.05).
 	BGMin float64
+}
+
+func (c GovernorConfig) mode() string {
+	if c.Mode == "" {
+		return GovPI
+	}
+	return c.Mode
 }
 
 func (c GovernorConfig) hist() string {
@@ -57,6 +121,20 @@ func (c GovernorConfig) nearFrac() float64 {
 		return 0.8
 	}
 	return c.NearFrac
+}
+
+func (c GovernorConfig) kp() float64 {
+	if c.KP <= 0 {
+		return 0.6
+	}
+	return c.KP
+}
+
+func (c GovernorConfig) ki() float64 {
+	if c.KI <= 0 {
+		return 0.2
+	}
+	return c.KI
 }
 
 func (c GovernorConfig) queuePattern() string {
@@ -101,50 +179,262 @@ func (c GovernorConfig) bgMin() float64 {
 	return c.BGMin
 }
 
+// piLoop is one PI control loop: a latency objective (cluster-wide or one
+// tenant's SLOP99) with its windowed-p99 snapshot and controller state.
+// Error is normalized against the setpoint, so gains are dimensionless
+// and shared across loops with very different targets:
+//
+//	e    = (window p99 − setpoint) / setpoint
+//	integ = clamp(integ + KI·e, 0, 1)        // anti-windup clamp
+//	out   = clamp(KP·e + integ, 0, 1)        // squeeze fraction
+//
+// A thin window (fewer than MinCount samples) is not judged; instead the
+// integral bleeds off by KI so the background lane recovers toward BGMax
+// once foreground load stops, without ever acting on a noisy p99.
+type piLoop struct {
+	tenant string // "" for the cluster-wide objective
+	target sim.Duration
+
+	prevSnap metrics.HistogramSnapshot
+	integ    float64
+	filt     float64 // EWMA-filtered normalized error
+	err      float64 // last (filtered) normalized error, for telemetry
+	out      float64 // last squeeze fraction in [0,1], for telemetry
+}
+
 // Governor is a telemetry.Watchdog that adaptively trades background
-// bandwidth for foreground latency: when the windowed foreground p99
-// nears the SLO (or disk queues run deep), it halves the background
-// lane's weight toward BGMin; after CalmWindows quiet windows it doubles
-// the weight back toward BGMax. Every decision is emitted as a watchdog
-// event, which the scraper mirrors into the trace stream — so governor
-// activity is visible in both `yottactl telemetry events` and trace
-// exports.
+// bandwidth for foreground latency.
+//
+// In PI mode (the default) it runs one PI loop per latency objective —
+// the cluster-wide P99Target plus one loop per tenant with a SLOP99 —
+// and a proportional loop on mean disk queue depth. Each loop outputs a
+// squeeze fraction in [0,1]; the most-constrained loop wins (max), and
+// the background lane's weight is set continuously to
+//
+//	w = BGMax · (BGMin/BGMax)^u
+//
+// so actuation is bounded to [BGMin, BGMax] by construction. The
+// interpolation is geometric, not linear: queueing latency responds to
+// weight ratios, so equal control steps should multiply the weight by
+// equal factors — the same reasoning behind the step governor's halving
+// — or the loop gain would vary wildly across the actuation range. Unlike the
+// PR5 halve/double governor it has no hysteresis counter to wind up and
+// no 2× steps to oscillate between: near the setpoint the moves shrink
+// toward zero.
+//
+// In step mode it is the PR5 governor: pressure halves the weight, calm
+// windows double it back — kept verbatim (minus two bug fixes) as the
+// comparison arm for experiment E14.
+//
+// Weight moves larger than eventFrac of the actuation range are emitted
+// as watchdog events, which the scraper mirrors into the trace stream —
+// so governor activity is visible in both `yottactl telemetry events`
+// and trace exports without one event per window of micro-adjustment.
 //
 // Check is a pure function of the view and the governor's own state (the
-// windowed-p99 snapshot, the calm counter): no randomness, no virtual
-// time, so same-seed runs make identical decisions.
+// windowed-p99 snapshots, the loop integrals): no randomness, no wall
+// clock, so same-seed runs make identical decisions.
 type Governor struct {
 	cfg GovernorConfig
 	mgr *Manager
 
+	// PI state.
+	loops    []*piLoop
+	queueErr float64 // last queue-loop normalized error
+	queueOut float64 // last queue-loop squeeze fraction
+	lastU    float64 // last winning squeeze fraction
+
+	// Step-mode state.
 	prevSnap metrics.HistogramSnapshot
-	haveSnap bool
 	calm     int
 
-	// Narrows and Widens count decisions, for telemetry and E13 notes.
+	// Narrows and Widens count weight moves down/up, for telemetry and
+	// experiment notes. In PI mode a "move" is any applied adjustment
+	// beyond weightEps.
 	Narrows int64
 	Widens  int64
 }
 
-// NewGovernor builds a governor driving mgr's background weight.
+// NewGovernor builds a governor driving mgr's background weight. PI
+// loops are created for the cluster objective (when P99Target > 0) and
+// for every tenant whose spec sets SLOP99, in sorted tenant order.
 func NewGovernor(cfg GovernorConfig, mgr *Manager) *Governor {
-	return &Governor{cfg: cfg, mgr: mgr}
+	g := &Governor{cfg: cfg, mgr: mgr}
+	if cfg.P99Target > 0 {
+		g.loops = append(g.loops, &piLoop{target: cfg.P99Target})
+	}
+	for _, n := range mgr.sloTenants {
+		g.loops = append(g.loops, &piLoop{tenant: n, target: mgr.cfg.Tenants[n].SLOP99})
+	}
+	return g
 }
 
 // Rule implements telemetry.Watchdog.
 func (g *Governor) Rule() string { return "qos-governor" }
+
+// Mode reports the active control law (GovPI or GovStep).
+func (g *Governor) Mode() string { return g.cfg.mode() }
+
+// Output reports the last winning squeeze fraction in [0,1] (PI mode).
+func (g *Governor) Output() float64 { return g.lastU }
+
+// LoopState reports one PI loop's last normalized error and squeeze
+// fraction; tenant "" selects the cluster-wide loop. ok is false when no
+// such loop exists.
+func (g *Governor) LoopState(tenant string) (err, out float64, ok bool) {
+	for _, lp := range g.loops {
+		if lp.tenant == tenant {
+			return lp.err, lp.out, true
+		}
+	}
+	return 0, 0, false
+}
 
 // Check implements telemetry.Watchdog.
 func (g *Governor) Check(v *telemetry.View) []telemetry.Event {
 	if !g.mgr.Enabled() {
 		return nil
 	}
+	if g.cfg.mode() == GovStep {
+		return g.checkStep(v)
+	}
+	return g.checkPI(v)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// histFor resolves the histogram one loop watches: the cluster loop reads
+// the configured registry histogram; tenant loops read the manager's own
+// per-tenant op-latency histograms (fed by controller.observeOp), which
+// exist independent of any telemetry scope naming.
+func (g *Governor) histFor(v *telemetry.View, lp *piLoop) *metrics.Histogram {
+	if lp.tenant == "" {
+		return v.Reg.HistogramFor(g.cfg.hist())
+	}
+	return g.mgr.TenantHistogram(lp.tenant)
+}
+
+// checkPI runs every loop over the window and applies the winning squeeze.
+func (g *Governor) checkPI(v *telemetry.View) []telemetry.Event {
+	u := 0.0
+	why := "no pressure"
+	for _, lp := range g.loops {
+		h := g.histFor(v, lp)
+		if h == nil {
+			// Histogram not registered (yet): hold this loop's state. Its
+			// first appearance is baselined below and the very next window
+			// is judged — there is no silently skipped window.
+			continue
+		}
+		if v.First {
+			lp.prevSnap = h.Snapshot()
+			continue
+		}
+		n := h.CountSince(lp.prevSnap)
+		setpoint := float64(lp.target) * g.cfg.nearFrac()
+		if n < g.cfg.minCount() {
+			// Thin window: no judgement, bleed the integral and the
+			// error filter toward rest so the lane recovers when the
+			// foreground goes quiet.
+			lp.filt *= 1 - piFiltAlpha
+			lp.err = 0
+			lp.integ = clamp01(lp.integ - g.cfg.ki())
+			lp.out = lp.integ
+		} else {
+			p99 := h.QuantileSince(lp.prevSnap, 0.99)
+			e := (float64(p99) - setpoint) / setpoint
+			a := piFiltAlpha
+			if e > lp.filt {
+				a = piFiltAlphaUp
+			}
+			lp.filt = a*e + (1-a)*lp.filt
+			lp.err = lp.filt
+			if lp.filt > -piDeadband && lp.filt < piDeadband {
+				// In the hold band: freeze the output rather than
+				// dither the weight against p99 quantization noise.
+				lp.out = lp.integ
+			} else {
+				lp.integ = clamp01(lp.integ + g.cfg.ki()*lp.filt)
+				lp.out = clamp01(g.cfg.kp()*lp.filt + lp.integ)
+			}
+		}
+		lp.prevSnap = h.Snapshot()
+		if lp.out > u {
+			u = lp.out
+			name := lp.tenant
+			if name == "" {
+				name = "cluster"
+			}
+			why = fmt.Sprintf("%s loop: err %+.2f integ %.2f", name, lp.err, lp.integ)
+		}
+	}
+	// Queue-pressure loop: proportional on mean disk queue depth, scaled
+	// so depth at QueueHigh is full squeeze. Purely proportional — queue
+	// depth is already an integral of over-admission, integrating it
+	// again double-counts.
+	g.queueErr, g.queueOut = 0, 0
+	if high := g.cfg.queueHigh(); high > 0 {
+		if names := v.Reg.Match(g.cfg.queuePattern()); len(names) > 0 {
+			sum := 0.0
+			for _, n := range names {
+				sum += v.Value(n)
+			}
+			mean := sum / float64(len(names))
+			g.queueErr = (mean - high) / high
+			g.queueOut = clamp01(1 + g.queueErr) // full squeeze at mean == high
+			if g.queueOut > u {
+				u = g.queueOut
+				why = fmt.Sprintf("queue loop: mean depth %.1f vs %.1f", mean, high)
+			}
+		}
+	}
+	g.lastU = u
+
+	bgMax, bgMin := g.cfg.bgMax(), g.cfg.bgMin()
+	next := bgMax * math.Pow(bgMin/bgMax, u)
+	cur := g.mgr.BackgroundWeight()
+	delta := next - cur
+	if delta > -weightEps && delta < weightEps {
+		return nil
+	}
+	g.mgr.SetBackgroundWeight(next)
+	sev := "info"
+	verb := "widen"
+	mag := delta
+	if delta < 0 {
+		g.Narrows++
+		sev, verb, mag = "warn", "narrow", -delta
+	} else {
+		g.Widens++
+	}
+	if mag < eventFrac*(bgMax-bgMin) {
+		// Micro-adjustment: applied, but not worth a traced event.
+		return nil
+	}
+	return []telemetry.Event{{Rule: g.Rule(), Severity: sev,
+		Detail: fmt.Sprintf("%s background lane %.3g -> %.3g (u=%.2f): %s", verb, cur, next, u, why)}}
+}
+
+// checkStep is the PR5 halve/double governor, kept as the E14 comparison
+// arm. Two fixes relative to PR5: the first window after the latency
+// histogram appears is judged against a zero baseline instead of being
+// silently skipped, and the calm counter clamps at CalmWindows instead
+// of growing without bound while the lane sits at BGMax.
+func (g *Governor) checkStep(v *telemetry.View) []telemetry.Event {
 	// Latency signal: windowed p99 against the near-threshold.
 	pressured := false
 	detail := ""
 	if g.cfg.P99Target > 0 {
 		if h := v.Reg.HistogramFor(g.cfg.hist()); h != nil {
-			if g.haveSnap && !v.First {
+			if !v.First {
 				n := h.CountSince(g.prevSnap)
 				p99 := h.QuantileSince(g.prevSnap, 0.99)
 				limit := sim.Duration(float64(g.cfg.P99Target) * g.cfg.nearFrac())
@@ -155,7 +445,6 @@ func (g *Governor) Check(v *telemetry.View) []telemetry.Event {
 				}
 			}
 			g.prevSnap = h.Snapshot()
-			g.haveSnap = true
 		}
 	}
 	// Queue signal: mean per-disk queue depth.
@@ -188,7 +477,9 @@ func (g *Governor) Check(v *telemetry.View) []telemetry.Event {
 		}
 		return nil
 	}
-	g.calm++
+	if g.calm < g.cfg.calmWindows() {
+		g.calm++
+	}
 	if g.calm >= g.cfg.calmWindows() && cur < g.cfg.bgMax() {
 		g.calm = 0
 		next := cur * 2

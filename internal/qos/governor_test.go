@@ -22,15 +22,29 @@ type govHarness struct {
 
 func newGovHarness(t *testing.T, cfg GovernorConfig) *govHarness {
 	t.Helper()
+	return newGovHarnessFull(t, Config{}, cfg, true)
+}
+
+// newGovHarnessFull is newGovHarness with a full qos Config (for
+// per-tenant SLO loops) and control over whether the cluster latency
+// histogram is registered up front (for the appears-mid-run tests).
+func newGovHarnessFull(t *testing.T, qcfg Config, gcfg GovernorConfig, withHist bool) *govHarness {
+	t.Helper()
 	k := sim.NewKernel(1)
-	m := NewManager(k, Config{})
+	m := NewManager(k, qcfg)
 	m.NewFairQueue(1)
 	m.SetEnabled(true)
 	reg := telemetry.NewRegistry()
 	h := metrics.NewHistogram()
-	reg.Histogram("cluster/op_latency", h)
-	return &govHarness{m: m, g: m.AttachGovernor(cfg), h: h, reg: reg}
+	if withHist {
+		reg.Histogram("cluster/op_latency", h)
+	}
+	return &govHarness{m: m, g: m.AttachGovernor(gcfg), h: h, reg: reg}
 }
+
+// attachHist registers the cluster latency histogram mid-run, modelling a
+// component that starts publishing after the scraper's first windows.
+func (hs *govHarness) attachHist() { hs.reg.Histogram("cluster/op_latency", hs.h) }
 
 // check runs one scraper window: observe n latency samples, then Check.
 func (hs *govHarness) check(n int, d sim.Duration) []telemetry.Event {
@@ -52,6 +66,7 @@ func (hs *govHarness) check(n int, d sim.Duration) []telemetry.Event {
 // event per step and counting Narrows.
 func TestGovernorNarrowsUnderPressure(t *testing.T) {
 	hs := newGovHarness(t, GovernorConfig{
+		Mode:      GovStep,
 		P99Target: 10 * sim.Millisecond,
 		MinCount:  4,
 		QueueHigh: -1, // isolate the latency signal
@@ -88,6 +103,7 @@ func TestGovernorNarrowsUnderPressure(t *testing.T) {
 // back toward BGMax with an info event each step.
 func TestGovernorWidensAfterCalm(t *testing.T) {
 	hs := newGovHarness(t, GovernorConfig{
+		Mode:        GovStep,
 		P99Target:   10 * sim.Millisecond,
 		MinCount:    4,
 		CalmWindows: 2,
@@ -129,6 +145,7 @@ func TestGovernorWidensAfterCalm(t *testing.T) {
 // trigger a narrow, however slow they were — a two-op window is noise.
 func TestGovernorIgnoresThinWindows(t *testing.T) {
 	hs := newGovHarness(t, GovernorConfig{
+		Mode:      GovStep,
 		P99Target: 10 * sim.Millisecond,
 		MinCount:  16,
 		QueueHigh: -1,
@@ -160,5 +177,218 @@ func TestGovernorInertWhenDisabled(t *testing.T) {
 	}
 	if hs.g.Narrows != 0 || hs.m.BackgroundWeight() != 1 {
 		t.Errorf("disabled governor acted: narrows %d weight %v", hs.g.Narrows, hs.m.BackgroundWeight())
+	}
+}
+
+// TestGovernorStepCalmClamped is the unbounded-calm regression: parked at
+// BGMax through a long quiet stretch, the calm counter must clamp at
+// CalmWindows instead of counting forever.
+func TestGovernorStepCalmClamped(t *testing.T) {
+	hs := newGovHarness(t, GovernorConfig{
+		Mode:        GovStep,
+		P99Target:   10 * sim.Millisecond,
+		MinCount:    4,
+		CalmWindows: 2,
+		QueueHigh:   -1,
+	})
+	hs.check(20, 1*sim.Millisecond) // baseline
+	for i := 0; i < 50; i++ {
+		hs.check(20, 1*sim.Millisecond)
+	}
+	if hs.g.calm > hs.g.cfg.calmWindows() {
+		t.Errorf("calm counter grew to %d, want clamped at %d", hs.g.calm, hs.g.cfg.calmWindows())
+	}
+}
+
+// TestGovernorStepHistogramAppearsMidRun is the haveSnap regression: when
+// the latency histogram is registered after the scraper's first windows,
+// the first window it is visible in must be judged (against a zero
+// baseline) — the old bootstrap silently skipped it.
+func TestGovernorStepHistogramAppearsMidRun(t *testing.T) {
+	hs := newGovHarnessFull(t, Config{}, GovernorConfig{
+		Mode:      GovStep,
+		P99Target: 10 * sim.Millisecond,
+		MinCount:  4,
+		QueueHigh: -1,
+	}, false)
+	// Three windows with no histogram registered: nothing to judge.
+	for i := 0; i < 3; i++ {
+		if ev := hs.check(20, 50*sim.Millisecond); ev != nil {
+			t.Fatalf("window %d without histogram emitted: %+v", i, ev)
+		}
+	}
+	hs.attachHist()
+	// First window the histogram is visible: the accumulated slow samples
+	// are over target, so the governor must narrow now, not one window
+	// later.
+	ev := hs.check(20, 50*sim.Millisecond)
+	if len(ev) != 1 || !strings.Contains(ev[0].Detail, "narrow") {
+		t.Fatalf("first visible window not judged: events = %+v", ev)
+	}
+	if got := hs.m.BackgroundWeight(); got != 0.5 {
+		t.Errorf("bg weight %v, want 0.5 after the first visible window", got)
+	}
+}
+
+// TestGovernorPIHistogramAppearsMidRun: same transition under the PI
+// controller — the loop holds while the histogram is missing, then acts
+// on its first visible window.
+func TestGovernorPIHistogramAppearsMidRun(t *testing.T) {
+	hs := newGovHarnessFull(t, Config{}, GovernorConfig{
+		P99Target: 10 * sim.Millisecond,
+		MinCount:  4,
+		QueueHigh: -1,
+	}, false)
+	for i := 0; i < 3; i++ {
+		if ev := hs.check(20, 50*sim.Millisecond); ev != nil {
+			t.Fatalf("window %d without histogram emitted: %+v", i, ev)
+		}
+	}
+	if got := hs.m.BackgroundWeight(); got != 1 {
+		t.Fatalf("weight moved with no signal: %v", got)
+	}
+	hs.attachHist()
+	hs.check(20, 50*sim.Millisecond)
+	if got := hs.m.BackgroundWeight(); got >= 1 {
+		t.Errorf("bg weight %v, want squeezed below 1 on the first visible window", got)
+	}
+	if hs.g.Narrows == 0 {
+		t.Errorf("Narrows = 0, want the first visible window counted")
+	}
+}
+
+// TestGovernorPISqueezesAndRecovers: sustained over-target p99 drives the
+// weight monotonically toward BGMin (integral accumulation); sustained
+// under-target p99 bleeds the integral and restores BGMax. No halving
+// steps, no oscillation between fixed levels.
+func TestGovernorPISqueezesAndRecovers(t *testing.T) {
+	hs := newGovHarness(t, GovernorConfig{
+		P99Target: 10 * sim.Millisecond,
+		MinCount:  4,
+		QueueHigh: -1,
+	})
+	hs.check(20, 50*sim.Millisecond) // baseline window
+	prev := hs.m.BackgroundWeight()
+	for i := 0; i < 10; i++ {
+		hs.check(20, 50*sim.Millisecond)
+		w := hs.m.BackgroundWeight()
+		if w > prev+weightEps {
+			t.Fatalf("window %d: weight rose under sustained pressure: %v -> %v", i, prev, w)
+		}
+		prev = w
+	}
+	if min := hs.g.cfg.bgMin(); prev > min+1e-9 {
+		t.Errorf("sustained 5x-over-target pressure settled at %v, want floor %v", prev, min)
+	}
+	// Recovery: fast windows under the setpoint.
+	for i := 0; i < 20; i++ {
+		hs.check(20, 1*sim.Millisecond)
+	}
+	if got := hs.m.BackgroundWeight(); got < hs.g.cfg.bgMax()-weightEps {
+		t.Errorf("bg weight %v after sustained calm, want restored to %v", got, hs.g.cfg.bgMax())
+	}
+	if hs.g.Narrows == 0 || hs.g.Widens == 0 {
+		t.Errorf("narrows %d widens %d, want both counted", hs.g.Narrows, hs.g.Widens)
+	}
+}
+
+// TestGovernorPIBoundedActuation: whatever the signal does, the applied
+// weight stays inside [BGMin, BGMax].
+func TestGovernorPIBoundedActuation(t *testing.T) {
+	hs := newGovHarness(t, GovernorConfig{
+		P99Target: 10 * sim.Millisecond,
+		MinCount:  4,
+		QueueHigh: -1,
+	})
+	durs := []sim.Duration{
+		50 * sim.Millisecond, 1 * sim.Millisecond, 200 * sim.Millisecond,
+		5 * sim.Millisecond, 500 * sim.Millisecond, 1 * sim.Microsecond,
+	}
+	for i := 0; i < 60; i++ {
+		hs.check(20, durs[i%len(durs)])
+		w := hs.m.BackgroundWeight()
+		if w < hs.g.cfg.bgMin()-1e-9 || w > hs.g.cfg.bgMax()+1e-9 {
+			t.Fatalf("window %d: weight %v outside [%v, %v]", i, w, hs.g.cfg.bgMin(), hs.g.cfg.bgMax())
+		}
+	}
+}
+
+// TestGovernorPIThinWindowsRelax: once load stops entirely (thin windows),
+// the integral bleeds off so background work gets its bandwidth back —
+// the PI analogue of the step governor's calm widen.
+func TestGovernorPIThinWindowsRelax(t *testing.T) {
+	hs := newGovHarness(t, GovernorConfig{
+		P99Target: 10 * sim.Millisecond,
+		MinCount:  16,
+		QueueHigh: -1,
+	})
+	hs.check(20, 50*sim.Millisecond) // baseline
+	for i := 0; i < 8; i++ {
+		hs.check(20, 50*sim.Millisecond)
+	}
+	squeezed := hs.m.BackgroundWeight()
+	if squeezed >= 1 {
+		t.Fatalf("setup: pressure did not squeeze (weight %v)", squeezed)
+	}
+	// Clients leave: two-op windows are never judged, but they do relax.
+	for i := 0; i < 20; i++ {
+		hs.check(2, 50*sim.Millisecond)
+	}
+	if got := hs.m.BackgroundWeight(); got < hs.g.cfg.bgMax()-weightEps {
+		t.Errorf("bg weight %v after idle stretch, want relaxed to %v", got, hs.g.cfg.bgMax())
+	}
+}
+
+// TestGovernorPIPerTenantSLO: a tenant with an SLOP99 gets its own loop
+// fed by Manager.ObserveOp; breaching it squeezes background work even
+// with no cluster-wide target configured, while an SLO-less tenant's
+// latency moves nothing.
+func TestGovernorPIPerTenantSLO(t *testing.T) {
+	hs := newGovHarnessFull(t, Config{
+		Tenants: map[string]TenantSpec{
+			"fusion": {Rate: 1000, SLOP99: 10 * sim.Millisecond},
+			"batch":  {Rate: 1000},
+		},
+	}, GovernorConfig{
+		MinCount:  4,
+		QueueHigh: -1, // no cluster P99Target, no queue loop: tenant SLO only
+	}, true)
+	if _, _, ok := hs.g.LoopState("fusion"); !ok {
+		t.Fatal("no PI loop for the SLO tenant")
+	}
+	if _, _, ok := hs.g.LoopState("batch"); ok {
+		t.Fatal("SLO-less tenant got a loop")
+	}
+	observe := func(tenant string, n int, d sim.Duration) {
+		for i := 0; i < n; i++ {
+			hs.m.ObserveOp(tenant, d)
+		}
+	}
+	// batch's misery alone must not squeeze anything (it has no SLO, and
+	// ObserveOp drops it on the floor).
+	observe("batch", 20, 500*sim.Millisecond)
+	hs.check(0, 0) // baseline window
+	observe("batch", 20, 500*sim.Millisecond)
+	hs.check(0, 0)
+	if got := hs.m.BackgroundWeight(); got != 1 {
+		t.Fatalf("SLO-less tenant latency moved the weight to %v", got)
+	}
+	// fusion breaching its 10ms SLO squeezes.
+	observe("fusion", 20, 50*sim.Millisecond)
+	hs.check(0, 0)
+	if got := hs.m.BackgroundWeight(); got >= 1 {
+		t.Errorf("bg weight %v, want squeezed on tenant SLO breach", got)
+	}
+	err, out, _ := hs.g.LoopState("fusion")
+	if err <= 0 || out <= 0 {
+		t.Errorf("fusion loop err %.3f out %.3f, want both positive under breach", err, out)
+	}
+	// fusion back under its SLO: the squeeze releases.
+	for i := 0; i < 20; i++ {
+		observe("fusion", 20, 1*sim.Millisecond)
+		hs.check(0, 0)
+	}
+	if got := hs.m.BackgroundWeight(); got < 1-weightEps {
+		t.Errorf("bg weight %v, want restored once fusion meets its SLO", got)
 	}
 }

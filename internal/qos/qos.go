@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -104,9 +105,17 @@ type TenantSpec struct {
 	// ahead of its rate before ops start waiting.
 	Burst float64
 	// MaxQueue bounds how many ops may wait for tokens at once; arrivals
-	// beyond it shed with ErrThrottled. 0 means no waiting (immediate
-	// shed when out of tokens).
+	// beyond it shed with ErrThrottled. 0 takes DefaultMaxQueue on
+	// rate-limited specs (a spec that only sets Rate/Burst gets pacing,
+	// not a shed cliff); negative means no waiting — immediate shed when
+	// out of tokens.
 	MaxQueue int
+	// SLOP99 is the tenant's p99 latency objective. When set (and QoS
+	// telemetry is on), the governor runs a PI loop on this tenant's
+	// windowed op p99 against it, squeezing background work as needed.
+	// 0 means no per-tenant objective (the cluster-wide P99Target still
+	// applies).
+	SLOP99 sim.Duration
 }
 
 // Config configures the whole subsystem. The zero value is usable: no
@@ -148,19 +157,51 @@ type Manager struct {
 	weights  [NumLanes]float64
 	bgWeight float64
 	gov      *Governor
+
+	// sloTenants are the tenants with a per-tenant SLOP99, sorted; each
+	// gets its own op-latency histogram the governor's PI loop reads.
+	sloTenants []string
+	tenantHist map[string]*metrics.Histogram
 }
 
 // NewManager builds a manager (initially disabled) from cfg.
 func NewManager(k *sim.Kernel, cfg Config) *Manager {
 	w := cfg.weights()
-	return &Manager{
-		k:        k,
-		cfg:      cfg,
-		adm:      NewAdmission(k, cfg.Tenants),
-		weights:  w,
-		bgWeight: w[LaneBackground],
+	m := &Manager{
+		k:          k,
+		cfg:        cfg,
+		adm:        NewAdmission(k, cfg.Tenants),
+		weights:    w,
+		bgWeight:   w[LaneBackground],
+		tenantHist: make(map[string]*metrics.Histogram),
+	}
+	for _, n := range sortedTenants(cfg.Tenants) {
+		if cfg.Tenants[n].SLOP99 > 0 {
+			m.sloTenants = append(m.sloTenants, n)
+			m.tenantHist[n] = metrics.NewHistogram()
+		}
+	}
+	return m
+}
+
+// ObserveOp records one completed foreground op's latency against the
+// tenant's SLO histogram. Tenants without an SLOP99 (and the unknown
+// tenant "") are no-ops — the cluster-wide histogram already covers them.
+// The controller calls this wherever it observes cluster/op_latency.
+func (m *Manager) ObserveOp(tenant string, d sim.Duration) {
+	if h, ok := m.tenantHist[tenant]; ok {
+		h.Observe(d)
 	}
 }
+
+// TenantHistogram returns tenant's SLO op-latency histogram, or nil when
+// the tenant has no SLOP99.
+func (m *Manager) TenantHistogram(tenant string) *metrics.Histogram {
+	return m.tenantHist[tenant]
+}
+
+// SLOTenants returns the tenants with a per-tenant p99 objective, sorted.
+func (m *Manager) SLOTenants() []string { return m.sloTenants }
 
 // NewFairQueue creates a FairQueue with capacity slots, registers it with
 // the manager (so enable/disable and governor decisions reach it), and
@@ -235,7 +276,14 @@ func (m *Manager) AttachGovernor(cfg GovernorConfig) *Governor {
 
 // RegisterTelemetry publishes the subsystem's counters under s
 // (qos/enabled, qos/bg_weight_milli, qos/tenant/<name>/{admitted,
-// throttled, delayed, waiting}, qos/governor/{narrows,widens}).
+// throttled, delayed, waiting}, qos/governor/{narrows,widens,
+// output_milli,error_milli}, and for every tenant with an SLOP99 the
+// qos/tenant/<name>/op_latency histogram plus its governor loop's
+// slo_{error,output}_milli gauges).
+//
+// The governor attaches after telemetry registration (it needs the
+// scraper), so every governor-backed gauge is a nil-safe closure read at
+// sample time.
 func (m *Manager) RegisterTelemetry(s telemetry.Scope) {
 	s.Int("enabled", func() int64 {
 		if m.enabled {
@@ -259,6 +307,39 @@ func (m *Manager) RegisterTelemetry(s telemetry.Scope) {
 		}
 		return m.gov.Widens
 	})
+	s.Int("governor/output_milli", func() int64 {
+		if m.gov == nil {
+			return 0
+		}
+		return int64(m.gov.Output() * 1000)
+	})
+	s.Int("governor/error_milli", func() int64 { return m.loopErrMilli("") })
+	for _, n := range m.sloTenants {
+		n := n
+		ts := s.Sub("tenant").Sub(n)
+		ts.Histogram("op_latency", m.tenantHist[n])
+		ts.Int("slo_error_milli", func() int64 { return m.loopErrMilli(n) })
+		ts.Int("slo_output_milli", func() int64 {
+			if m.gov == nil {
+				return 0
+			}
+			_, out, _ := m.gov.LoopState(n)
+			return int64(out * 1000)
+		})
+	}
+}
+
+// loopErrMilli samples one governor loop's last normalized error in
+// milli-units (0 when the governor is detached or has no such loop).
+func (m *Manager) loopErrMilli(tenant string) int64 {
+	if m.gov == nil {
+		return 0
+	}
+	err, _, ok := m.gov.LoopState(tenant)
+	if !ok {
+		return 0
+	}
+	return int64(err * 1000)
 }
 
 // LaneTotals aggregates per-lane scheduling stats across every registered
@@ -298,8 +379,19 @@ func (m *Manager) Report() string {
 	w := m.Weights()
 	fmt.Fprintf(&b, "lane weights: fg %.3g/%.3g/%.3g/%.3g bg %.3g\n", w[0], w[1], w[2], w[3], w[4])
 	if m.gov != nil {
-		fmt.Fprintf(&b, "governor: target p99 %.3fms, bg share [%.3g..%.3g], %d narrows, %d widens\n",
-			m.gov.cfg.P99Target.Millis(), m.gov.cfg.bgMin(), m.gov.cfg.bgMax(), m.gov.Narrows, m.gov.Widens)
+		fmt.Fprintf(&b, "governor: %s, target p99 %.3fms, bg share [%.3g..%.3g], %d narrows, %d widens\n",
+			m.gov.Mode(), m.gov.cfg.P99Target.Millis(), m.gov.cfg.bgMin(), m.gov.cfg.bgMax(), m.gov.Narrows, m.gov.Widens)
+		if m.gov.Mode() == GovPI {
+			fmt.Fprintf(&b, "governor output: u %.3f (bg weight %.3g)\n", m.gov.Output(), m.bgWeight)
+			for _, lp := range m.gov.loops {
+				name := lp.tenant
+				if name == "" {
+					name = "(cluster)"
+				}
+				fmt.Fprintf(&b, "governor loop %-10s target p99 %.3fms: err %+.3f integ %.3f out %.3f\n",
+					name, lp.target.Millis(), lp.err, lp.integ, lp.out)
+			}
+		}
 	} else {
 		fmt.Fprintf(&b, "governor: detached (telemetry off)\n")
 	}
@@ -308,8 +400,12 @@ func (m *Manager) Report() string {
 		fmt.Fprintf(&b, "tenants: none configured (admission pass-through)\n")
 	}
 	for _, t := range stats {
-		fmt.Fprintf(&b, "tenant %-10s rate %.0f/s burst %.0f maxq %d: admitted %d delayed %d throttled %d wait %.1fms\n",
-			t.Tenant, t.Rate, t.Burst, t.MaxQueue, t.Admitted, t.Delayed, t.Throttled, t.WaitMs)
+		slo := ""
+		if s, ok := m.cfg.Tenants[t.Tenant]; ok && s.SLOP99 > 0 {
+			slo = fmt.Sprintf(" slo-p99 %.3fms", s.SLOP99.Millis())
+		}
+		fmt.Fprintf(&b, "tenant %-10s rate %.0f/s burst %.0f maxq %d%s: admitted %d delayed %d throttled %d wait %.1fms\n",
+			t.Tenant, t.Rate, t.Burst, t.MaxQueue, slo, t.Admitted, t.Delayed, t.Throttled, t.WaitMs)
 	}
 	if n := len(m.queues); n > 0 {
 		totals := m.LaneTotals()

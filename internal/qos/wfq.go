@@ -35,6 +35,7 @@ type FairQueue struct {
 type fqWaiter struct {
 	f      *sim.Future[struct{}]
 	finish float64
+	cost   float64
 	seq    uint64
 }
 
@@ -68,12 +69,40 @@ func (q *FairQueue) SetEnabled(on bool) { q.enabled = on }
 // Enabled reports the dispatch mode.
 func (q *FairQueue) Enabled() bool { return q.enabled }
 
-// SetWeight updates one lane's weight for subsequently enqueued work.
+// SetWeight updates one lane's weight, effective immediately: waiters
+// already stamped under the old weight are re-tagged at the new rate from
+// the current virtual time (intra-lane order preserved), because tags
+// computed under the old weight would keep charging the old rate until
+// the backlog drained — a governor narrow on a deep background lane would
+// otherwise not bite until every pre-change waiter dispatched, and stale
+// tags can over- or under-penalize the lane against its peers. An empty
+// lane just has lastFinish reset to the queue's virtual time so its next
+// arrival starts fresh under the new weight.
 func (q *FairQueue) SetWeight(lane int, w float64) {
 	if w <= 0 {
 		w = minBackgroundWeight
 	}
-	q.weights[ClampLane(lane)] = w
+	lane = ClampLane(lane)
+	if q.weights[lane] == w {
+		return
+	}
+	q.weights[lane] = w
+	if !q.enabled {
+		// Disabled queues carry no meaningful tags (dispatch is by seq);
+		// the new weight applies if and when the queue is re-enabled.
+		return
+	}
+	if len(q.queues[lane]) == 0 {
+		q.lastFinish[lane] = q.vtime
+		return
+	}
+	prev := q.vtime
+	for i := range q.queues[lane] {
+		wt := &q.queues[lane][i]
+		wt.finish = prev + wt.cost/w
+		prev = wt.finish
+	}
+	q.lastFinish[lane] = prev
 }
 
 // Acquire blocks p until a service slot is free, competing in lane with
@@ -90,7 +119,7 @@ func (q *FairQueue) Acquire(p *sim.Proc, lane int, cost float64) {
 		q.dispatched[lane]++
 		return
 	}
-	w := fqWaiter{f: sim.NewFuture[struct{}](q.k), seq: q.seq}
+	w := fqWaiter{f: sim.NewFuture[struct{}](q.k), cost: cost, seq: q.seq}
 	q.seq++
 	if q.enabled {
 		start := q.lastFinish[lane]
