@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke batch-smoke governor-smoke bench-check
+.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke batch-smoke governor-smoke analyze-smoke bench-check
 
 all: verify
 
@@ -25,17 +25,18 @@ bench:
 
 # snapshot writes the per-PR perf record: the canonical workload run
 # unbatched and on the batched fabric plane (per-phase p50/p99 +
-# throughput, plus the E12 balance, E13 QoS and E14 governor summaries),
-# diffed against the previous PR's committed record.
+# throughput, the critical-path latency budget, plus the E12 balance,
+# E13 QoS and E14 governor summaries), diffed against the previous PR's
+# committed record.
 snapshot:
-	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR7.json -baseline BENCH_PR6.json
+	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR8.json -baseline BENCH_PR7.json
 
 # bench-check regenerates the snapshot into a scratch file and diffs it
-# against the committed BENCH_PR7.json: a fabric p99 regression over 10%
-# on either plane — or an E14 PI victim p99 regression over 10% — fails
-# loudly.
+# against the committed BENCH_PR8.json: a fabric p99 regression over 10%
+# on either plane, an E14 PI victim p99 regression over 10%, or any
+# phase's tail critical-path share growing over 5 points fails loudly.
 bench-check:
-	$(GO) run ./cmd/benchrunner -snapshot /tmp/bench_check.json -baseline BENCH_PR7.json
+	$(GO) run ./cmd/benchrunner -snapshot /tmp/bench_check.json -baseline BENCH_PR8.json
 
 # qos-smoke runs the reduced-scale multi-tenant isolation experiment —
 # the CI gate that admission control and fair queueing still isolate.
@@ -47,6 +48,16 @@ qos-smoke:
 # identical step and burst aggressors.
 governor-smoke:
 	$(GO) run ./cmd/benchrunner -only E14Q
+
+# analyze-smoke is the CI gate for critical-path attribution: the
+# attribution identities (wall = Σ critical; inclusive = critical +
+# delegated + overlap) reconcile against the tracer's own breakdown on
+# the canonical workload, same-seed output is byte-identical, cap
+# eviction surfaces as counted truncation, and the yottactl
+# analyze/critpath commands and -baseline tail-share gate behave.
+analyze-smoke:
+	$(GO) test -count=1 ./internal/critpath
+	$(GO) test -count=1 -run 'TestCritPath|TestCheckCritPath|TestAnalyze|TestCritpath|TestDroppedTrace|TestExemplar|TestPhaseHistogramCarriesExemplars|TestChromeFlowEvents|TestRegistryExemplarFor' ./internal/experiments ./internal/trace ./internal/metrics ./internal/telemetry ./cmd/yottactl ./cmd/benchrunner
 
 # batch-smoke is the CI gate for the batched fabric plane: frame
 # coalescing semantics, the batched/unbatched convergence property, and

@@ -10,9 +10,11 @@
 // the batched fabric plane — and writes a JSON comparison record instead
 // of the tables, so each PR can commit a comparable BENCH_PRn.json.
 // -baseline diffs the fresh record against a committed one and exits
-// non-zero if the fabric p99 regressed more than 10% on either plane, or
-// if the E14 PI governor's victim p99 (loaded phase, reduced scale)
-// regressed more than 10%.
+// non-zero if the fabric p99 regressed more than 10% on either plane, if
+// the E14 PI governor's victim p99 (loaded phase, reduced scale) regressed
+// more than 10%, or if any phase's share of the tail (p99+) ops' critical
+// path grew more than 5 percentage points over the baseline's
+// critical-path latency budget.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/experiments"
@@ -47,6 +50,8 @@ var runners = []struct {
 	{"E13Q", "reduced-scale QoS isolation smoke (CI)", experiments.E13Q},
 	{"E14", "governor step response: halve/double vs per-tenant PI control", experiments.E14},
 	{"E14Q", "reduced-scale governor step-response smoke (CI)", experiments.E14Q},
+	{"CP1", "critical-path tail diagnosis: canonical workload", experiments.CP1},
+	{"CP2", "critical-path tail diagnosis: E14 PI arm under scrub load", experiments.CP2},
 	{"A1", "ablation: remote-read prefetch on/off", experiments.A1Prefetch},
 	{"A2", "ablation: cache-to-cache transfers on/off", experiments.A2PeerFetch},
 	{"A3", "ablation: write latency vs replication factor", experiments.A3ReplicationCost},
@@ -165,7 +170,48 @@ func diffBaseline(path string, fresh experiments.BatchComparison) error {
 			return err
 		}
 	}
+	if err := checkCritPath(base.Unbatched.CritPath, fresh.Unbatched.CritPath); err != nil {
+		return err
+	}
 	return checkGovernor(base.Unbatched.Governor, fresh.Unbatched.Governor)
+}
+
+// maxTailSharePts is how many percentage points a phase's share of the
+// tail (p99+) cohort's critical path may grow over the baseline before
+// the -baseline check fails. Shares tile 100%, so a phase newly eating
+// the tail must take its points from the others — absolute-latency noise
+// cancels out of the signal.
+const maxTailSharePts = 5.0
+
+// checkCritPath guards the tail latency budget: for each phase present in
+// the baseline's critical-path summary, its share of the tail cohort's
+// wall must not grow more than maxTailSharePts points. Pre-PR8 baselines
+// carry no critpath summary and are skipped.
+func checkCritPath(base, fresh experiments.CritPathSummary) error {
+	if base.Ops == 0 || fresh.Ops == 0 {
+		return nil
+	}
+	for _, name := range sortedPhaseNames(base.Phases) {
+		b := base.Phases[name]
+		f := fresh.Phases[name]
+		growth := f.TailSharePct - b.TailSharePct
+		fmt.Printf("  critpath tail share %-10s baseline %5.1f%%, now %5.1f%% (%+.1f pts)\n",
+			name+":", b.TailSharePct, f.TailSharePct, growth)
+		if growth > maxTailSharePts {
+			return fmt.Errorf("critpath: phase %q tail share regressed %.1f pts (baseline %.1f%% → %.1f%%, limit +%.0f pts)",
+				name, growth, b.TailSharePct, f.TailSharePct, maxTailSharePts)
+		}
+	}
+	return nil
+}
+
+func sortedPhaseNames(m map[string]experiments.PhaseBudget) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // checkGovernor guards the PI governor's victim tail: pre-PR7 baselines

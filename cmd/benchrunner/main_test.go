@@ -27,3 +27,46 @@ func TestCheckGovernorGate(t *testing.T) {
 		t.Fatalf("fresh run without governor summary must be skipped: %v", err)
 	}
 }
+
+// The -baseline critical-path gate: a phase whose share of the tail
+// cohort's critical path grows beyond the points limit must fail; smaller
+// moves, improvements, and summary-less (pre-PR8) baselines pass.
+func TestCheckCritPathGate(t *testing.T) {
+	summary := func(diskTail float64) experiments.CritPathSummary {
+		return experiments.CritPathSummary{
+			Ops: 1000,
+			Phases: map[string]experiments.PhaseBudget{
+				"disk":   {TailSharePct: diskTail},
+				"fabric": {TailSharePct: 100 - diskTail},
+			},
+		}
+	}
+	base := summary(60)
+	if err := checkCritPath(base, summary(64)); err != nil {
+		t.Fatalf("+4 pts should pass: %v", err)
+	}
+	if err := checkCritPath(base, summary(66)); err == nil {
+		t.Fatal("+6 pts should fail the gate")
+	}
+	// The shares tile 100%, so disk shrinking means fabric grew — a +6 pt
+	// fabric regression must trip even though disk improved.
+	if err := checkCritPath(base, summary(54)); err == nil {
+		t.Fatal("fabric share +6 pts should fail the gate")
+	}
+	if err := checkCritPath(base, summary(58)); err != nil {
+		t.Fatalf("small shifts under the limit should pass: %v", err)
+	}
+	// A phase absent from the fresh summary reads as share 0 — an
+	// improvement, never a failure.
+	fresh := summary(64)
+	delete(fresh.Phases, "disk")
+	if err := checkCritPath(base, fresh); err != nil {
+		t.Fatalf("phase vanishing from fresh run should pass: %v", err)
+	}
+	if err := checkCritPath(experiments.CritPathSummary{}, summary(90)); err != nil {
+		t.Fatalf("pre-PR8 baseline without critpath summary must be skipped: %v", err)
+	}
+	if err := checkCritPath(base, experiments.CritPathSummary{}); err != nil {
+		t.Fatalf("fresh run without critpath summary must be skipped: %v", err)
+	}
+}

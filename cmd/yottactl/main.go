@@ -64,6 +64,12 @@
 //	trace status                    span counts per phase so far
 //	trace export chrome <file>      write Chrome trace_event JSON
 //	trace export jsonl <file>       write one span per line as JSONL
+//	analyze                         critical-path attribution tables over
+//	                                the traced ops (budget + tail diagnosis)
+//	analyze folded <file>           export the aggregate critical path as
+//	                                stacks.folded (flame-graph input)
+//	critpath <traceid>              render one op's critical path
+//	critpath                        same, for the op-latency p99 exemplar
 //	top                             one dashboard frame (per-blade load)
 //	telemetry status                registry size + scraper coverage
 //	telemetry report                scrape summary + watchdog events
@@ -85,6 +91,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/critpath"
 	"repro/internal/disk"
 	"repro/internal/metrics"
 	"repro/internal/pfs"
@@ -437,6 +444,61 @@ func execute(p *sim.Proc, sys *core.System, line string) error {
 		default:
 			return fmt.Errorf("usage: trace on|off|status | trace export chrome|jsonl <file>")
 		}
+	case "analyze":
+		a := critpath.FromTracer(sys.Tracer)
+		if len(args) == 2 && args[0] == "folded" {
+			f, err := os.Create(args[1])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := a.WriteFolded(f); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", args[1])
+			return nil
+		}
+		if len(args) != 0 {
+			return fmt.Errorf("usage: analyze | analyze folded <file>")
+		}
+		fmt.Printf("  %s\n", a.Summary())
+		if len(a.Ops) == 0 {
+			fmt.Println("  no complete op traces — run with `trace on` first")
+			return nil
+		}
+		if err := a.Check(); err != nil {
+			return err
+		}
+		indent := func(s string) { fmt.Printf("  %s\n", strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")) }
+		indent(a.BudgetTable("critical-path latency budget").String())
+		indent(a.TailTable("tail diagnosis — median vs p99+ ops").String())
+		return nil
+	case "critpath":
+		a := critpath.FromTracer(sys.Tracer)
+		var id uint64
+		switch len(args) {
+		case 0:
+			ex, ok := sys.Registry.ExemplarFor("cluster/op_latency", 0.99)
+			if !ok {
+				return fmt.Errorf("no op-latency exemplars yet — run traced ops first")
+			}
+			id = ex.Trace
+			fmt.Printf("  p99 exemplar: trace %d (%.3f ms)\n", ex.Trace, ex.Value.Millis())
+		case 1:
+			v, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad trace id %q", args[0])
+			}
+			id = v
+		default:
+			return fmt.Errorf("usage: critpath [traceid]")
+		}
+		var buf strings.Builder
+		if err := a.RenderPath(&buf, id); err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", strings.ReplaceAll(strings.TrimRight(buf.String(), "\n"), "\n", "\n  "))
+		return nil
 	case "balance":
 		if len(args) != 1 {
 			return fmt.Errorf("usage: balance on|off|status|report")

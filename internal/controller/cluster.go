@@ -464,11 +464,12 @@ func (c *Cluster) admit(p *sim.Proc, priority, count int) error {
 }
 
 // observeOp records one completed client op's latency: into the
-// cluster-wide histogram always, and into the calling tenant's SLO
-// histogram when QoS is configured — the signal the governor's per-tenant
-// PI loops regulate against.
-func (c *Cluster) observeOp(p *sim.Proc, d sim.Duration) {
-	c.opLatency.Observe(d)
+// cluster-wide histogram always (tagged with the op's trace ID so
+// histogram buckets carry exemplars back to a concrete traced op), and
+// into the calling tenant's SLO histogram when QoS is configured — the
+// signal the governor's per-tenant PI loops regulate against.
+func (c *Cluster) observeOp(p *sim.Proc, d sim.Duration, traceID uint64) {
+	c.opLatency.ObserveTraced(d, traceID)
 	if c.QoS != nil {
 		c.QoS.ObserveOp(qos.FromProc(p).Tenant, d)
 	}
@@ -531,7 +532,7 @@ func (c *Cluster) Read(p *sim.Proc, b *Blade, vol string, lba int64, count int, 
 		grp.Wait(p)
 	}
 	root.End()
-	c.observeOp(p, p.Now().Sub(t0))
+	c.observeOp(p, p.Now().Sub(t0), root.TraceID())
 	b.Ops += int64(count)
 	if firstErr != nil {
 		c.Errors++
@@ -594,7 +595,7 @@ func (c *Cluster) WriteR(p *sim.Proc, b *Blade, vol string, lba int64, data []by
 		grp.Wait(p)
 	}
 	root.End()
-	c.observeOp(p, p.Now().Sub(t0))
+	c.observeOp(p, p.Now().Sub(t0), root.TraceID())
 	b.Ops += int64(count)
 	if firstErr != nil {
 		c.Errors++

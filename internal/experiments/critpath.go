@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/critpath"
+	"repro/internal/metrics"
+	"repro/internal/qos"
+)
+
+// CP1/CP2 — critical-path tail attribution. Where the phase histograms
+// answer "how long did fabric spans take", the span-DAG analysis answers
+// "how much of an op's wall clock did fabric *cause*": each traced op's
+// critical path is reconstructed from parent links, concurrent siblings
+// collapse into overlap instead of double-counting, and the ops are split
+// into median (≤p50) and tail (≥p99) cohorts so the table shows which
+// phase's share grows when an op lands in the tail. CP1 runs the canonical
+// snapshot workload (the same run -snapshot records); CP2 re-runs the E14
+// PI-governor arm with tracing on during the loaded phase only, so the
+// attribution isolates behavior under the scrub aggressor. Same seed →
+// byte-identical tables.
+
+// RunCritPath analyzes the canonical snapshot workload's span DAG under
+// one seed. Deterministic per seed.
+func RunCritPath(seed int64) *critpath.Analysis {
+	_, tracer := canonicalTraced(seed, false)
+	return critpath.FromTracer(tracer)
+}
+
+// RunCritPathE14 re-runs the E14 PI arm (reduced scale, step aggressor)
+// with tracing enabled during the loaded phase and returns its analysis:
+// tail attribution for victim ops contended by the background scrub.
+func RunCritPathE14(seed int64) *critpath.Analysis {
+	sc := e14Quick()
+	sc.traced = true
+	arm := e14Arm(seed, sc, qos.GovPI, false)
+	return critpath.FromTracer(arm.Tracer)
+}
+
+// cpTable renders one analysis as its tail-diagnosis table with the
+// one-line summary and identity-check verdict attached.
+func cpTable(title string, a *critpath.Analysis) *metrics.Table {
+	tab := a.TailTable(title)
+	tab.AddNote("%s", a.Summary())
+	check := "true"
+	if err := a.Check(); err != nil {
+		check = fmt.Sprintf("FAILED: %v", err)
+	}
+	tab.AddNote("attribution identities (wall = Σ critical; total = critical+delegated+overlap): %s", check)
+	return tab
+}
+
+// CP1 renders the canonical-workload tail diagnosis.
+func CP1(seed int64) *metrics.Table {
+	return cpTable("CP1 — critical-path tail diagnosis: canonical workload, median vs p99+ ops",
+		RunCritPath(seed))
+}
+
+// CP2 renders the E14 loaded-phase tail diagnosis.
+func CP2(seed int64) *metrics.Table {
+	return cpTable("CP2 — critical-path tail diagnosis: E14 PI arm under scrub aggressor (loaded phase)",
+		RunCritPathE14(seed))
+}

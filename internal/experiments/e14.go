@@ -8,6 +8,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -69,6 +70,9 @@ type e14Scale struct {
 	// burst pulse geometry (burst shape only).
 	burstOn  sim.Duration
 	burstOff sim.Duration
+	// traced attaches a per-op tracer enabled only during the loaded
+	// phase, so the arm's span log isolates behavior under contention.
+	traced bool
 }
 
 func e14Full() e14Scale {
@@ -230,6 +234,10 @@ type E14Arm struct {
 	ScrubChunks      int64
 	Trace            []float64 // per-window background weight (loaded phase)
 
+	// Tracer holds the loaded-phase span log when e14Scale.traced is set
+	// (nil otherwise); critical-path analysis consumes it.
+	Tracer *trace.Tracer
+
 	// wins is the raw loaded-phase window series (tests poke at it).
 	wins []e14Window
 }
@@ -249,6 +257,11 @@ func e14Arm(seed int64, sc e14Scale, mode string, burst bool) E14Arm {
 			QueueHigh: -1, // isolate the latency loops: identical signal per arm
 			BGMax:     e14BGMax,
 		},
+	}
+	var tr *trace.Tracer
+	if sc.traced {
+		tr = trace.NewTracer(k)
+		cfg.Tracer = tr
 	}
 	c, err := controllerNew(k, cfg)
 	if err != nil {
@@ -284,6 +297,7 @@ func e14Arm(seed int64, sc e14Scale, mode string, burst bool) E14Arm {
 	// Onset: the aggressor switches on; the measured victim runner rides
 	// through the whole loaded phase.
 	onset := len(rec.wins)
+	tr.SetEnabled(true) // nil-safe; trace only the loaded phase
 	agg := &e14Aggressor{c: c}
 	vr := newRunner(sc.load)
 	vr.Start()
@@ -294,6 +308,7 @@ func e14Arm(seed int64, sc e14Scale, mode string, burst bool) E14Arm {
 	k.RunFor(sc.load - half)
 	vr.Bytes.CloseAt(k.Now())
 	agg.stopped = true
+	tr.SetEnabled(false)
 	loadEnd := len(rec.wins)
 
 	// Post phase: aggressor off, weight free to recover.
@@ -308,6 +323,7 @@ func e14Arm(seed int64, sc e14Scale, mode string, burst bool) E14Arm {
 		VictimOpsPerSec: float64(vr.Ops) / sc.load.Seconds(),
 		FinalWeight:     c.QoS.BackgroundWeight(),
 		ScrubChunks:     agg.Chunks,
+		Tracer:          tr,
 	}
 	g := c.QoS.Governor()
 	arm.Narrows, arm.Widens = g.Narrows, g.Widens

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/critpath"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -65,6 +66,68 @@ type GovernorSummary struct {
 	BurstPISteadyP99  float64 `json:"burst_pi_steady_p99_ms"`
 }
 
+// PhaseBudget is one phase's slice of the critical-path latency budget:
+// inclusive span count, total critical time and its share of all op wall
+// time, plus the phase's mean critical contribution to a median op and a
+// p99+ op. TailSharePct — the phase's share of the tail cohort's wall —
+// is the signal the -baseline regression gate watches.
+type PhaseBudget struct {
+	Spans        int64   `json:"spans"`
+	CriticalMs   float64 `json:"critical_ms"`
+	SharePct     float64 `json:"share_pct"`
+	MedianOpMs   float64 `json:"median_op_ms"`
+	TailOpMs     float64 `json:"tail_op_ms"`
+	TailSharePct float64 `json:"tail_share_pct"`
+}
+
+// CritPathSummary condenses the critical-path analysis of the canonical
+// traced workload into the perf record: per-phase latency budget plus the
+// median/tail cohort walls the budget shares are relative to.
+type CritPathSummary struct {
+	Ops          int                    `json:"ops"`
+	Truncated    int                    `json:"truncated"`
+	WallMs       float64                `json:"wall_ms"`
+	MedianWallMs float64                `json:"median_wall_ms"`
+	TailWallMs   float64                `json:"tail_wall_ms"`
+	Phases       map[string]PhaseBudget `json:"phases"`
+}
+
+// critPathSummary flattens an analysis into the snapshot record, skipping
+// phases with no critical contribution anywhere.
+func critPathSummary(a *critpath.Analysis) CritPathSummary {
+	median, tail := a.Cohorts()
+	s := CritPathSummary{
+		Ops:          len(a.Ops),
+		Truncated:    a.Truncated,
+		WallMs:       a.Wall.Millis(),
+		MedianWallMs: median.MeanWall.Millis(),
+		TailWallMs:   tail.MeanWall.Millis(),
+		Phases:       make(map[string]PhaseBudget),
+	}
+	for pi, pt := range a.ByPhase {
+		if pt.Spans == 0 && pt.Critical == 0 {
+			continue
+		}
+		share := 0.0
+		if a.Wall > 0 {
+			share = 100 * float64(pt.Critical) / float64(a.Wall)
+		}
+		name := "other"
+		if pi < len(trace.Phases) {
+			name = string(trace.Phases[pi])
+		}
+		s.Phases[name] = PhaseBudget{
+			Spans:        pt.Spans,
+			CriticalMs:   pt.Critical.Millis(),
+			SharePct:     share,
+			MedianOpMs:   median.Crit[pi].Millis(),
+			TailOpMs:     tail.Crit[pi].Millis(),
+			TailSharePct: tail.Share(pi),
+		}
+	}
+	return s
+}
+
 // Snapshot is the machine-readable perf record benchrunner writes per PR
 // (BENCH_PRn.json), so the bench trajectory across PRs stays comparable:
 // canonical traced workload, per-phase latency quantiles, throughput.
@@ -78,6 +141,7 @@ type Snapshot struct {
 	MeanMs    float64                   `json:"mean_ms"`
 	P99Ms     float64                   `json:"p99_ms"`
 	Phases    map[string]PhaseQuantiles `json:"phases"`
+	CritPath  CritPathSummary           `json:"critpath"`
 	Balance   BalanceSummary            `json:"balance"`
 	QoS       QoSSummary                `json:"qos"`
 	Governor  GovernorSummary           `json:"governor"`
@@ -119,20 +183,22 @@ func RunBatchComparison(seed int64) BatchComparison {
 	return cmp
 }
 
-// perfSnapshot optionally skips the E12, E13 and E14 arms: the snapshot
-// tests double-run the builder to prove determinism, and paying for
-// second full runs there would duplicate what TestE12Deterministic,
-// TestE13Deterministic and TestE14Deterministic already assert while
-// pushing the package past the default go-test timeout.
-func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, batched bool) Snapshot {
-	const (
-		blades  = 8
-		clients = 32
-		ws      = 4 << 10
-		dur     = 2 * sim.Second
-	)
+// Canonical snapshot workload shape, shared by perfSnapshot and the
+// critical-path experiments so their analyses describe the same run.
+const (
+	snapBlades  = 8
+	snapClients = 32
+	snapWS      = 4 << 10
+	snapDur     = 2 * sim.Second
+)
+
+// canonicalTraced runs the canonical snapshot workload — an 8-blade
+// cluster under a mixed read/write closed loop, warmed 2s untraced then
+// measured 2s traced — and returns the traced window's workload result
+// plus the tracer holding its span log. Deterministic per seed.
+func canonicalTraced(seed int64, batched bool) (*workload.Runner, *trace.Tracer) {
 	k := sim.NewKernel(seed)
-	cfg := clusterConfig(blades)
+	cfg := clusterConfig(snapBlades)
 	cfg.FabricBatch = batched
 	tracer := trace.NewTracer(k)
 	cfg.Tracer = tracer
@@ -144,29 +210,40 @@ func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, batched bool) 
 		panic(err)
 	}
 	target := &clusterTarget{c: c, vol: "snap"}
-	if err := prefillVolume(k, c, "snap", ws); err != nil {
+	if err := prefillVolume(k, c, "snap", snapWS); err != nil {
 		panic(err)
 	}
 	pat := func(int) workload.Pattern {
-		return workload.Uniform{Range: ws, Blocks: 4, WriteFrac: 0.25}
+		return workload.Uniform{Range: snapWS, Blocks: 4, WriteFrac: 0.25}
 	}
 	// Warm untraced, then measure traced.
-	runWorkload(k, clients, 2*sim.Second, target, pat)
+	runWorkload(k, snapClients, 2*sim.Second, target, pat)
 	tracer.SetEnabled(true)
-	r := runWorkload(k, clients, dur, target, pat)
+	r := runWorkload(k, snapClients, snapDur, target, pat)
 	tracer.SetEnabled(false)
 	c.Stop()
+	return r, tracer
+}
+
+// perfSnapshot optionally skips the E12, E13 and E14 arms: the snapshot
+// tests double-run the builder to prove determinism, and paying for
+// second full runs there would duplicate what TestE12Deterministic,
+// TestE13Deterministic and TestE14Deterministic already assert while
+// pushing the package past the default go-test timeout.
+func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, batched bool) Snapshot {
+	r, tracer := canonicalTraced(seed, batched)
 
 	snap := Snapshot{
 		Seed:      seed,
-		Blades:    blades,
-		Clients:   clients,
+		Blades:    snapBlades,
+		Clients:   snapClients,
 		Ops:       r.Ops,
 		MBps:      r.Bytes.MBps(),
-		OpsPerSec: float64(r.Ops) / dur.Seconds(),
+		OpsPerSec: float64(r.Ops) / snapDur.Seconds(),
 		MeanMs:    r.Latency.Mean().Millis(),
 		P99Ms:     r.Latency.P99().Millis(),
 		Phases:    make(map[string]PhaseQuantiles, len(trace.Phases)),
+		CritPath:  critPathSummary(critpath.FromTracer(tracer)),
 	}
 	for _, ph := range trace.Phases {
 		h := tracer.PhaseHistogram(ph)

@@ -85,6 +85,20 @@ type Histogram struct {
 	sum     float64
 	min     sim.Duration
 	max     sim.Duration
+
+	// exemplars holds, per occupied bucket, the trace behind the bucket's
+	// largest traced sample (lazily allocated; only ObserveTraced feeds
+	// it). Memory is bounded by the occupied-bucket count, not the sample
+	// count.
+	exemplars map[int]Exemplar
+}
+
+// Exemplar links a histogram bucket back to the trace of its largest
+// traced sample, so a quantile can be followed to a concrete op.
+type Exemplar struct {
+	Bucket int
+	Trace  uint64
+	Value  sim.Duration
 }
 
 // NewHistogram returns an empty histogram.
@@ -119,6 +133,59 @@ func (h *Histogram) Observe(d sim.Duration) {
 	if d > h.max {
 		h.max = d
 	}
+}
+
+// ObserveTraced records one sample and, when trace != 0, offers it as the
+// bucket's exemplar. The exemplar is replaced only by a strictly greater
+// value, so for a fixed observation sequence (deterministic under the sim
+// kernel) the exemplar set is deterministic regardless of ties.
+func (h *Histogram) ObserveTraced(d sim.Duration, trace uint64) {
+	h.Observe(d)
+	if trace == 0 {
+		return
+	}
+	b := bucketOf(d)
+	ex, ok := h.exemplars[b]
+	if ok && d <= ex.Value {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make(map[int]Exemplar)
+	}
+	h.exemplars[b] = Exemplar{Bucket: b, Trace: trace, Value: d}
+}
+
+// Exemplars returns all bucket exemplars sorted by bucket (ascending
+// value order), empty if no traced samples were observed.
+func (h *Histogram) Exemplars() []Exemplar {
+	if len(h.exemplars) == 0 {
+		return nil
+	}
+	out := make([]Exemplar, 0, len(h.exemplars))
+	for _, ex := range h.exemplars {
+		out = append(out, ex)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
+	return out
+}
+
+// ExemplarNear returns the exemplar closest to the q-quantile: the one in
+// the highest occupied bucket not above Quantile(q)'s bucket, falling back
+// to the lowest exemplar above it. ok is false if no exemplars exist.
+func (h *Histogram) ExemplarNear(q float64) (Exemplar, bool) {
+	exs := h.Exemplars()
+	if len(exs) == 0 {
+		return Exemplar{}, false
+	}
+	qb := bucketOf(h.Quantile(q))
+	best := exs[0]
+	for _, ex := range exs {
+		if ex.Bucket > qb {
+			break
+		}
+		best = ex
+	}
+	return best, true
 }
 
 // Count returns the number of samples.

@@ -100,6 +100,19 @@ func (r *Registry) Histogram(name string, h *metrics.Histogram) {
 // HistogramFor returns the histogram registered under name, or nil.
 func (r *Registry) HistogramFor(name string) *metrics.Histogram { return r.hists[name] }
 
+// ExemplarFor returns the exemplar nearest the q-quantile of the histogram
+// registered under name: the trace ID of the op behind that latency. ok is
+// false when the histogram is unknown or carries no traced samples.
+// Exemplars are surfaced here as a lookup, not as derived series — traces
+// are identities, not measurements to scrape.
+func (r *Registry) ExemplarFor(name string, q float64) (metrics.Exemplar, bool) {
+	h := r.hists[name]
+	if h == nil {
+		return metrics.Exemplar{}, false
+	}
+	return h.ExemplarNear(q)
+}
+
 // ResetWatermarks re-arms every registered gauge's high/low watermarks at
 // its current value. The scraper calls this after each scrape.
 func (r *Registry) ResetWatermarks() {

@@ -182,3 +182,28 @@ func TestSkewTableFree(t *testing.T) {
 		t.Fatalf("skew table missing CV note:\n%s", out)
 	}
 }
+
+func TestRegistryExemplarFor(t *testing.T) {
+	r := NewRegistry()
+	h := metrics.NewHistogram()
+	r.Histogram("cluster/op_latency", h)
+	if _, ok := r.ExemplarFor("cluster/op_latency", 0.99); ok {
+		t.Fatal("exemplar from empty histogram")
+	}
+	if _, ok := r.ExemplarFor("no/such", 0.99); ok {
+		t.Fatal("exemplar from unknown histogram")
+	}
+	for i := 0; i < 50; i++ {
+		h.ObserveTraced(sim.Duration(1000+i), uint64(i+1))
+	}
+	h.ObserveTraced(sim.Duration(1e9), 77)
+	ex, ok := r.ExemplarFor("cluster/op_latency", 1.0)
+	if !ok || ex.Trace != 77 {
+		t.Errorf("ExemplarFor(p100) = %+v ok=%v, want trace 77", ex, ok)
+	}
+	// Registering with exemplars must not add derived series (scrape and
+	// prom output stay stable).
+	if got := r.Len(); got != 4 {
+		t.Errorf("registry Len = %d, want 4 derived series only", got)
+	}
+}

@@ -34,6 +34,8 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"` // flow-event binding ("s"/"f" pairs)
+	BP   string         `json:"bp,omitempty"` // "e": bind flow end to enclosing slice
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -78,6 +80,36 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			TID:  tidOf(s.Where),
 		})
 		events[len(events)-1].Args = args
+	}
+	// Flow events for async parent→handler edges: a fire-and-forget RPC
+	// records an instant dispatch span, and its handler child starts at or
+	// after the dispatch ended — on another blade's row, so without an
+	// explicit arrow the causality renders as disconnected tracks. Emit an
+	// "s"/"f" pair per async edge (matching name/cat/id; bp:"e" binds the
+	// finish to the handler slice). Sync children nest inside their parent
+	// slice and need no arrow.
+	byID := make(map[[2]uint64]Span, len(t.spans))
+	for _, s := range t.spans {
+		byID[[2]uint64{s.Trace, s.ID}] = s
+	}
+	for _, s := range t.spans {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[[2]uint64{s.Trace, s.Parent}]
+		if !ok || p.Phase != Fabric || s.Start < p.End {
+			continue
+		}
+		flow := chromeEvent{Name: s.Name, Cat: "async", ID: s.ID, PID: 1}
+		start, finish := flow, flow
+		start.Ph = "s"
+		start.TS = float64(p.End) / 1e3
+		start.TID = tidOf(p.Where)
+		finish.Ph = "f"
+		finish.BP = "e"
+		finish.TS = float64(s.Start) / 1e3
+		finish.TID = tidOf(s.Where)
+		events = append(events, start, finish)
 	}
 	// Name the rows. Metadata events carry no timestamp; viewers sort them
 	// out themselves.

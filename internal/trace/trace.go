@@ -17,6 +17,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -80,6 +81,12 @@ func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
 // warm phases cannot exhaust memory.
 const DefaultCap = 1 << 18
 
+// droppedTraceCap bounds the set of trace IDs marked as having lost at
+// least one span to the retention cap. Past this the tracer degrades to a
+// single overflow flag, so analyzers know truncation became untrackable
+// rather than trusting a partial set.
+const droppedTraceCap = 1 << 16
+
 // Tracer collects spans for one kernel. It is not safe for concurrent
 // use, matching the kernel's single-threaded execution model. A nil
 // *Tracer is valid everywhere and records nothing.
@@ -93,6 +100,13 @@ type Tracer struct {
 	dropped  int64
 	started  int64
 	ended    int64
+
+	// droppedTraces marks traces that lost at least one span past the
+	// retention cap; a dropped leaf leaves no structural evidence in the
+	// log, so analyzers need this to avoid silently mis-attributing a
+	// truncated DAG. Bounded by droppedTraceCap, then droppedOverflow.
+	droppedTraces   map[uint64]struct{}
+	droppedOverflow bool
 }
 
 // NewTracer returns a disabled tracer bound to k's clock. Call SetEnabled
@@ -169,13 +183,60 @@ func (t *Tracer) child(traceID, parent uint64, name string, phase Phase, where s
 func (t *Tracer) record(s Span) {
 	t.ended++
 	if h := t.phases[s.Phase]; h != nil {
-		h.Observe(s.Duration())
+		h.ObserveTraced(s.Duration(), s.Trace)
 	}
 	if len(t.spans) >= t.cap {
 		t.dropped++
+		t.markTraceDropped(s.Trace)
 		return
 	}
 	t.spans = append(t.spans, s)
+}
+
+// markTraceDropped records that trace id lost a span to the retention cap.
+func (t *Tracer) markTraceDropped(id uint64) {
+	if t.droppedTraces == nil {
+		t.droppedTraces = make(map[uint64]struct{})
+	}
+	if _, ok := t.droppedTraces[id]; ok {
+		return
+	}
+	if len(t.droppedTraces) >= droppedTraceCap {
+		t.droppedOverflow = true
+		return
+	}
+	t.droppedTraces[id] = struct{}{}
+}
+
+// TraceDropped reports whether trace id is known to have lost at least one
+// span to the retention cap (its DAG in Spans() is incomplete). When
+// DroppedTraceOverflow is true the set itself is incomplete and a false
+// return is inconclusive.
+func (t *Tracer) TraceDropped(id uint64) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.droppedTraces[id]
+	return ok
+}
+
+// DroppedTraceOverflow reports whether so many distinct traces lost spans
+// that the dropped-trace set itself overflowed.
+func (t *Tracer) DroppedTraceOverflow() bool { return t != nil && t.droppedOverflow }
+
+// DroppedTraces returns the IDs of traces known to have lost spans, in
+// ascending order. A trace that lost every span leaves no mark in Spans()
+// at all; this is the only record it existed.
+func (t *Tracer) DroppedTraces() []uint64 {
+	if t == nil || len(t.droppedTraces) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(t.droppedTraces))
+	for id := range t.droppedTraces {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Spans returns the retained span log in end order.
@@ -218,6 +279,14 @@ type Ctx struct {
 // Valid reports whether c belongs to a live trace.
 func (c Ctx) Valid() bool { return c.t != nil }
 
+// TraceID returns the trace this context belongs to (0 if invalid).
+func (c Ctx) TraceID() uint64 {
+	if !c.Valid() {
+		return 0
+	}
+	return c.trace
+}
+
 // Child opens a span under c, or returns nil for an invalid Ctx.
 func (c Ctx) Child(name string, phase Phase, where string) *Active {
 	if !c.Valid() {
@@ -257,6 +326,14 @@ func (a *Active) Ctx() Ctx {
 // Child opens a span nested under a.
 func (a *Active) Child(name string, phase Phase, where string) *Active {
 	return a.Ctx().Child(name, phase, where)
+}
+
+// TraceID returns the trace this span belongs to (0 for a nil handle).
+func (a *Active) TraceID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.s.Trace
 }
 
 // Detail attaches a free-form annotation and returns a for chaining.

@@ -350,3 +350,163 @@ func TestBreakdownTable(t *testing.T) {
 		t.Fatalf("disk p50 = %q, want 4.000\n%s", tab.Rows[1][3], tab)
 	}
 }
+
+func TestDroppedTraceMarkers(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	tr := NewTracer(k)
+	tr.SetEnabled(true)
+	tr.SetCap(3)
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		sp := tr.StartTrace("op", Op, "x")
+		ids = append(ids, sp.TraceID())
+		sp.End()
+	}
+	for i, id := range ids {
+		want := i >= 3 // first 3 retained, last 2 dropped
+		if tr.TraceDropped(id) != want {
+			t.Errorf("TraceDropped(%d) = %v, want %v", id, !want, want)
+		}
+	}
+	if tr.DroppedTraceOverflow() {
+		t.Error("overflow flag set for 2 dropped traces")
+	}
+	dropped := tr.DroppedTraces()
+	if len(dropped) != 2 || dropped[0] != ids[3] || dropped[1] != ids[4] {
+		t.Errorf("DroppedTraces() = %v, want [%d %d]", dropped, ids[3], ids[4])
+	}
+	// A trace dropping several spans is marked once.
+	sp := tr.StartTrace("op", Op, "x")
+	sp.Child("a", Disk, "x").End()
+	sp.Child("b", Disk, "x").End()
+	sp.End()
+	if n := len(tr.DroppedTraces()); n != 3 {
+		t.Errorf("dropped set = %d entries, want 3", n)
+	}
+}
+
+func TestTraceIDAccessors(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	tr := NewTracer(k)
+	tr.SetEnabled(true)
+	sp := tr.StartTrace("op", Op, "x")
+	if sp.TraceID() == 0 {
+		t.Fatal("live span TraceID = 0")
+	}
+	if sp.Ctx().TraceID() != sp.TraceID() {
+		t.Error("Ctx.TraceID mismatch")
+	}
+	child := sp.Child("c", Disk, "x")
+	if child.TraceID() != sp.TraceID() {
+		t.Error("child TraceID differs from root")
+	}
+	child.End()
+	sp.End()
+	var nilA *Active
+	if nilA.TraceID() != 0 {
+		t.Error("nil Active TraceID != 0")
+	}
+	if (Ctx{}).TraceID() != 0 {
+		t.Error("zero Ctx TraceID != 0")
+	}
+	var nilT *Tracer
+	if nilT.TraceDropped(1) || nilT.DroppedTraceOverflow() || nilT.DroppedTraces() != nil {
+		t.Error("nil tracer dropped-marker methods not inert")
+	}
+}
+
+func TestPhaseHistogramCarriesExemplars(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	tr := NewTracer(k)
+	tr.SetEnabled(true)
+	done := make(chan struct{})
+	k.Go("op", func(p *sim.Proc) {
+		defer close(done)
+		sp := tr.StartTrace("op", Op, "x")
+		p.Sleep(1000)
+		sp.End()
+	})
+	k.Run()
+	<-done
+	ex, ok := tr.PhaseHistogram(Op).ExemplarNear(0.99)
+	if !ok || ex.Trace == 0 {
+		t.Fatalf("phase histogram has no exemplar: %+v ok=%v", ex, ok)
+	}
+}
+
+func TestChromeFlowEventsForAsyncEdges(t *testing.T) {
+	k := sim.NewKernel(1)
+	defer k.Close()
+	tr := NewTracer(k)
+	tr.SetEnabled(true)
+	done := make(chan struct{})
+	k.Go("op", func(p *sim.Proc) {
+		defer close(done)
+		root := tr.StartTrace("write", Op, "blade0")
+		// Sync RPC: handler nests inside the rpc span — no flow pair.
+		rpc := root.Child("rpc:put", Fabric, "blade0")
+		h := rpc.Child("put", Coherence, "blade1")
+		p.Sleep(100)
+		h.End()
+		rpc.End()
+		// Async dispatch: instant fabric span; handler starts later on
+		// another blade — exactly one flow pair.
+		disp := root.Child("rpc-go:inv", Fabric, "blade0")
+		disp.End()
+		p.Sleep(50)
+		hh := disp.Child("inv", Coherence, "blade2")
+		p.Sleep(100)
+		hh.End()
+		root.End()
+	})
+	k.Run()
+	<-done
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			TID  int     `json:"tid"`
+			ID   uint64  `json:"id"`
+			BP   string  `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var starts, finishes int
+	var sTS, fTS float64
+	var sID, fID uint64
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			starts++
+			sTS, sID = ev.TS, ev.ID
+			if ev.Name != "inv" {
+				t.Errorf("flow start name = %q, want inv", ev.Name)
+			}
+		case "f":
+			finishes++
+			fTS, fID = ev.TS, ev.ID
+			if ev.BP != "e" {
+				t.Errorf("flow finish bp = %q, want e", ev.BP)
+			}
+		}
+	}
+	if starts != 1 || finishes != 1 {
+		t.Fatalf("flow events = %d starts / %d finishes, want 1/1", starts, finishes)
+	}
+	if sID == 0 || sID != fID {
+		t.Errorf("flow ids differ: s=%d f=%d", sID, fID)
+	}
+	if fTS < sTS {
+		t.Errorf("flow finish ts %.3f before start ts %.3f", fTS, sTS)
+	}
+}
