@@ -50,6 +50,8 @@ var runners = []struct {
 	{"E13Q", "reduced-scale QoS isolation smoke (CI)", experiments.E13Q},
 	{"E14", "governor step response: halve/double vs per-tenant PI control", experiments.E14},
 	{"E14Q", "reduced-scale governor step-response smoke (CI)", experiments.E14Q},
+	{"E15", "hot-key cache tier vs home migration under shifting Zipf skew", experiments.E15},
+	{"E15Q", "reduced-scale cache-tier crossover smoke (CI)", experiments.E15Quick},
 	{"CP1", "critical-path tail diagnosis: canonical workload", experiments.CP1},
 	{"CP2", "critical-path tail diagnosis: E14 PI arm under scrub load", experiments.CP2},
 	{"A1", "ablation: remote-read prefetch on/off", experiments.A1Prefetch},
@@ -173,7 +175,10 @@ func diffBaseline(path string, fresh experiments.BatchComparison) error {
 	if err := checkCritPath(base.Unbatched.CritPath, fresh.Unbatched.CritPath); err != nil {
 		return err
 	}
-	return checkGovernor(base.Unbatched.Governor, fresh.Unbatched.Governor)
+	if err := checkGovernor(base.Unbatched.Governor, fresh.Unbatched.Governor); err != nil {
+		return err
+	}
+	return checkHotCache(base.Unbatched.HotCache, fresh.Unbatched.HotCache)
 }
 
 // maxTailSharePts is how many percentage points a phase's share of the
@@ -212,6 +217,23 @@ func sortedPhaseNames(m map[string]experiments.PhaseBudget) []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// checkHotCache guards the cache tier's op tail on fast-shifting skew
+// (E15Q hotcache arm): pre-PR9 baselines carry no hotcache summary and
+// are skipped.
+func checkHotCache(base, fresh experiments.HotCacheSummary) error {
+	if base.ShiftHotP99Ms <= 0 || fresh.ShiftHotP99Ms <= 0 {
+		return nil
+	}
+	growth := 100 * (fresh.ShiftHotP99Ms - base.ShiftHotP99Ms) / base.ShiftHotP99Ms
+	fmt.Printf("  E15Q shifting hotcache p99: baseline %.3f ms, now %.3f ms (%+.1f%%)\n",
+		base.ShiftHotP99Ms, fresh.ShiftHotP99Ms, growth)
+	if growth > maxFabricRegressPct {
+		return fmt.Errorf("E15Q shifting hotcache p99 regressed %.1f%% (baseline %.3f ms → %.3f ms, limit +%.0f%%)",
+			growth, base.ShiftHotP99Ms, fresh.ShiftHotP99Ms, maxFabricRegressPct)
+	}
+	return nil
 }
 
 // checkGovernor guards the PI governor's victim tail: pre-PR7 baselines

@@ -52,6 +52,9 @@
 //	clone <src> <dst>               distributed mirror creation
 //	evacuate <device>               migrate all extents off a device
 //	rebalance                       even extent load across devices
+//	rebalance on|off                toggle the installed load-spreading scheme
+//	rebalance status                scheme name + counters
+//	rebalance report                scheme name + full per-scheme report
 //	balance on|off                  toggle the adaptive hot-spot rebalancer
 //	balance status                  rebalancer thresholds + counters
 //	balance report                  counters plus the home-migration log
@@ -126,6 +129,8 @@ status
 top
 telemetry status
 balance status
+rebalance status
+rebalance report
 qos on
 qos status
 qos report
@@ -387,12 +392,42 @@ func execute(p *sim.Proc, sys *core.System, line string) error {
 		fmt.Printf("  migrated %d extents off device %s\n", moved, args[0])
 		return nil
 	case "rebalance":
-		moved, err := sys.Cluster.Pool.Rebalance(p, 2)
-		if err != nil {
-			return err
+		// Bare `rebalance` keeps its original meaning: spread extents
+		// across pool devices. With a subcommand it drives the installed
+		// load-spreading scheme (migration balancer or hot-key cache
+		// tier) through the scheme-independent Rebalancer interface.
+		if len(args) == 0 {
+			moved, err := sys.Cluster.Pool.Rebalance(p, 2)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  moved %d extents; device load now %v\n", moved, sys.Cluster.Pool.DeviceLoad())
+			return nil
 		}
-		fmt.Printf("  moved %d extents; device load now %v\n", moved, sys.Cluster.Pool.DeviceLoad())
-		return nil
+		if len(args) != 1 {
+			return fmt.Errorf("usage: rebalance [on|off|status|report]")
+		}
+		if sys.Rebalancer == nil {
+			return fmt.Errorf("no rebalancing scheme installed (Options.Rebalance off)")
+		}
+		switch args[0] {
+		case "on":
+			sys.Rebalancer.SetEnabled(true)
+			fmt.Printf("  rebalancer (%s) on\n", sys.Rebalancer.Scheme())
+			return nil
+		case "off":
+			sys.Rebalancer.SetEnabled(false)
+			fmt.Printf("  rebalancer (%s) off\n", sys.Rebalancer.Scheme())
+			return nil
+		case "status":
+			fmt.Printf("  scheme=%s %s\n", sys.Rebalancer.Scheme(), sys.Rebalancer.Status())
+			return nil
+		case "report":
+			fmt.Printf("  %s\n", strings.ReplaceAll(strings.TrimRight(sys.Rebalancer.Report(), "\n"), "\n", "\n  "))
+			return nil
+		default:
+			return fmt.Errorf("usage: rebalance [on|off|status|report]")
+		}
 	case "rebuild":
 		g, d := int(atoi(args[0])), int(atoi(args[1]))
 		t0 := p.Now()

@@ -311,10 +311,6 @@ func (c *Controller) tick(p *sim.Proc) {
 			src, srcLoad = id, deltas[i]
 		}
 	}
-	type coldBlade struct {
-		id   int
-		load float64
-	}
 	var targets []coldBlade
 	for i, id := range ids {
 		if id != src && deltas[i] < st.Mean {
@@ -331,48 +327,10 @@ func (c *Controller) tick(p *sim.Proc) {
 		c.streak = 0
 		return
 	}
-	// Plan the burst by weight, not round-robin: a key's decayed heat,
-	// scaled to the scrape interval, estimates the load its home carries.
-	// Greedily hand each candidate to the coldest projected target, stop
-	// once the source is projected at the mean, and skip tail keys whose
-	// move would not measurably shift load (pure churn).
-	scale := math.Ln2 * float64(c.cfg.Interval) / float64(c.cfg.HeatHalfLife)
 	now := c.k.Now()
-	srcProj := srcLoad
-	type move struct {
-		cand coherence.KeyHeat
-		to   int
-	}
-	var plan []move
-	for _, cand := range c.deps.Engines[src].HottestHomes(c.cfg.MaxMoves * 4) {
-		if len(plan) >= c.cfg.MaxMoves || srcProj <= st.Mean {
-			break
-		}
-		if t, ok := c.lastMoved[cand.Key]; ok && now.Sub(t) < c.cfg.KeyCooldown {
-			continue // recently moved: spread the movable keys around it
-		}
-		est := cand.Heat * scale
-		if est < c.cfg.MinMoveFrac*st.Mean {
-			break // heat-descending order: the rest is tail churn
-		}
-		best := -1
-		for i := range targets {
-			if best < 0 || targets[i].load < targets[best].load {
-				best = i
-			}
-		}
-		if targets[best].load+est > st.Mean+0.5*est {
-			// No target can absorb this key without becoming the next hot
-			// spot. In particular a single dominant key whose load exceeds
-			// the fair share stays pinned wherever it is — migrating it
-			// would only relocate the bottleneck — and the controller
-			// spreads the movable warm keys around it instead.
-			continue
-		}
-		plan = append(plan, move{cand, targets[best].id})
-		targets[best].load += est
-		srcProj -= est
-	}
+	c.pruneCooldowns(now)
+	cands := c.deps.Engines[src].HottestHomes(c.cfg.MaxMoves * 4)
+	plan := planMoves(c.cfg, now, c.lastMoved, cands, targets, st.Mean, srcLoad)
 	if len(plan) == 0 {
 		c.streak = 0
 		return
@@ -388,6 +346,78 @@ func (c *Controller) tick(p *sim.Proc) {
 		// full interval to show up in the load series.
 		c.streak = 0
 	})
+}
+
+// coldBlade is a migration target with its projected load.
+type coldBlade struct {
+	id   int
+	load float64
+}
+
+// move is one planned home migration.
+type move struct {
+	cand coherence.KeyHeat
+	to   int
+}
+
+// planMoves plans one migration burst: hand each candidate (heat-
+// descending order expected) to the coldest projected target, stop once
+// the source is projected at the mean, and drop tail keys whose move
+// would not measurably shift load. It is a pure function of its inputs —
+// no engine, clock, or fabric access — so regression tests can pin an
+// exact schedule. targets' projected loads are updated in place.
+func planMoves(cfg Config, now sim.Time, lastMoved map[cache.Key]sim.Time,
+	cands []coherence.KeyHeat, targets []coldBlade, mean, srcLoad float64) []move {
+	// A key's decayed heat, scaled to the scrape interval, estimates the
+	// load its home carries per interval.
+	scale := math.Ln2 * float64(cfg.Interval) / float64(cfg.HeatHalfLife)
+	srcProj := srcLoad
+	var plan []move
+	for _, cand := range cands {
+		if len(plan) >= cfg.MaxMoves || srcProj <= mean {
+			break
+		}
+		if t, ok := lastMoved[cand.Key]; ok && now.Sub(t) < cfg.KeyCooldown {
+			continue // recently moved: spread the movable keys around it
+		}
+		est := cand.Heat * scale
+		if est <= cfg.MinMoveFrac*mean {
+			// Heat-descending order: the rest is tail churn. The floor is
+			// exclusive — a key whose heat has decayed to exactly the
+			// churn floor is already indistinguishable from tail noise,
+			// and re-planning it every tick just ping-pongs a cold home.
+			break
+		}
+		best := -1
+		for i := range targets {
+			if best < 0 || targets[i].load < targets[best].load {
+				best = i
+			}
+		}
+		if targets[best].load+est > mean+0.5*est {
+			// No target can absorb this key without becoming the next hot
+			// spot. In particular a single dominant key whose load exceeds
+			// the fair share stays pinned wherever it is — migrating it
+			// would only relocate the bottleneck — and the controller
+			// spreads the movable warm keys around it instead.
+			continue
+		}
+		plan = append(plan, move{cand, targets[best].id})
+		targets[best].load += est
+		srcProj -= est
+	}
+	return plan
+}
+
+// pruneCooldowns drops lastMoved entries whose cooldown has fully
+// elapsed: they can no longer affect planning, and without pruning the
+// map grows with every key ever migrated.
+func (c *Controller) pruneCooldowns(now sim.Time) {
+	for k, t := range c.lastMoved {
+		if now.Sub(t) >= c.cfg.KeyCooldown {
+			delete(c.lastMoved, k)
+		}
+	}
 }
 
 // migrate commits one home move via the coherence protocol, under a
@@ -410,11 +440,20 @@ func (c *Controller) migrate(p *sim.Proc, cand coherence.KeyHeat, from, to int) 
 	c.decisions = append(c.decisions, Decision{T: p.Now(), Key: cand.Key, From: from, To: to, Heat: cand.Heat})
 }
 
+// Scheme identifies the controller's rebalancing strategy (the
+// core.Rebalancer interface; the hotcache tier answers "hotcache").
+func (c *Controller) Scheme() string { return "migrate" }
+
+// Status is the one-line state summary yottactl prints.
+func (c *Controller) Status() string {
+	return fmt.Sprintf("balance: enabled=%v ticks=%d bursts=%d migrations=%d skipped=%d",
+		c.enabled, c.stats.Ticks, c.stats.Bursts, c.stats.Migrations, c.stats.Skipped)
+}
+
 // Report renders the decision log plus counters for CLI status output.
 func (c *Controller) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "balance: enabled=%v ticks=%d bursts=%d migrations=%d skipped=%d\n",
-		c.enabled, c.stats.Ticks, c.stats.Bursts, c.stats.Migrations, c.stats.Skipped)
+	fmt.Fprintf(&b, "%s\n", c.Status())
 	for _, d := range c.decisions {
 		fmt.Fprintf(&b, "  %s\n", d)
 	}

@@ -42,9 +42,18 @@ import (
 // kernel's deterministic primitives.
 
 // Batched protocol payloads. Req/resp item slices are parallel arrays.
-type getSBatchReq struct{ Keys []cache.Key }
+// Epochs mirror the per-key plane's getSReq/getXReq Epoch field: one
+// requester install epoch per key, recorded with each registration so
+// stale evict notices cannot deregister a re-installed copy.
+type getSBatchReq struct {
+	Keys   []cache.Key
+	Epochs []uint64
+}
 type getSBatchResp struct{ Items []getSResp }
-type getXBatchReq struct{ Keys []cache.Key }
+type getXBatchReq struct {
+	Keys   []cache.Key
+	Epochs []uint64
+}
 type getXBatchResp struct{ Items []getXResp }
 type invBatchReq struct{ Keys []cache.Key }
 type invBatchResp struct{}
@@ -89,9 +98,10 @@ func sortedPeerIDs[T any](m map[int]T) []int {
 
 // batchWork is one key's slot in a batched home handler.
 type batchWork struct {
-	idx int // position in the request (and response) arrays
-	key cache.Key
-	ent *dirEntry
+	idx   int // position in the request (and response) arrays
+	key   cache.Key
+	epoch uint64 // requester's install epoch for this key
+	ent   *dirEntry
 }
 
 // lockSorted locks each work entry's mutex in sorted key order and returns
@@ -131,7 +141,7 @@ func (e *Engine) handleGetSBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 			items[i] = getSResp{Redirect: true, NewHome: to}
 			continue
 		}
-		work = append(work, batchWork{idx: i, key: key})
+		work = append(work, batchWork{idx: i, key: key, epoch: req.Epochs[i]})
 	}
 	if len(work) == 0 {
 		return getSBatchResp{Items: items}, batchSize(len(items))
@@ -156,9 +166,11 @@ func (e *Engine) handleGetSBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 		case dirInvalid:
 			w.ent.state = dirShared
 			w.ent.sharers = map[int]bool{requester: true}
+			w.ent.epochs = map[int]uint64{requester: w.epoch}
 		case dirShared:
 			if e.noPeerFetch {
 				w.ent.sharers[requester] = true
+				w.ent.epochs[requester] = w.epoch
 				continue
 			}
 			src := -1
@@ -170,6 +182,7 @@ func (e *Engine) handleGetSBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 			}
 			if src < 0 {
 				w.ent.sharers[requester] = true
+				w.ent.epochs[requester] = w.epoch
 				continue
 			}
 			fetchGroups[src] = append(fetchGroups[src], w)
@@ -194,7 +207,9 @@ func (e *Engine) handleGetSBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 				// on it later; readers fall back to the backing store.
 				for _, w := range ws {
 					delete(w.ent.sharers, src)
+					delete(w.ent.epochs, src)
 					w.ent.sharers[requester] = true
+					w.ent.epochs[requester] = w.epoch
 				}
 				return
 			}
@@ -206,6 +221,7 @@ func (e *Engine) handleGetSBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 				// A Gone sharer stays registered (it may be mid-install);
 				// the reader falls back to backing, current for Shared.
 				w.ent.sharers[requester] = true
+				w.ent.epochs[requester] = w.epoch
 			}
 		})
 	}
@@ -224,6 +240,7 @@ func (e *Engine) handleGetSBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 				for _, w := range ws {
 					w.ent.state = dirShared
 					w.ent.sharers = map[int]bool{requester: true}
+					w.ent.epochs = map[int]uint64{requester: w.epoch}
 				}
 				return
 			}
@@ -238,10 +255,12 @@ func (e *Engine) handleGetSBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 				case !it.Gone:
 					w.ent.state = dirShared
 					w.ent.sharers = map[int]bool{requester: true, owner: true}
+					w.ent.epochs = map[int]uint64{requester: w.epoch, owner: w.ent.ownerEpoch}
 					items[w.idx].Data = it.Data
 				default:
 					w.ent.state = dirShared
 					w.ent.sharers = map[int]bool{requester: true}
+					w.ent.epochs = map[int]uint64{requester: w.epoch}
 				}
 			}
 		})
@@ -270,7 +289,7 @@ func (e *Engine) handleGetXBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 			items[i] = getXResp{Redirect: true, NewHome: to}
 			continue
 		}
-		work = append(work, batchWork{idx: i, key: key})
+		work = append(work, batchWork{idx: i, key: key, epoch: req.Epochs[i]})
 	}
 	if len(work) == 0 {
 		return getXBatchResp{Items: items}, batchSize(len(items))
@@ -328,7 +347,9 @@ func (e *Engine) handleGetXBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 	for _, w := range granted {
 		w.ent.state = dirModified
 		w.ent.owner = requester
+		w.ent.ownerEpoch = w.epoch
 		w.ent.sharers = make(map[int]bool)
+		w.ent.epochs = make(map[int]uint64)
 	}
 	return getXBatchResp{Items: items}, batchSize(len(items))
 }
@@ -350,7 +371,9 @@ func (e *Engine) handleInvBatch(p *sim.Proc, from simnet.Addr, args any) (any, i
 // handleInvMBatch surrenders Modified ownership for a vector of keys. The
 // per-key pinned wait is preserved: a mid-flight destage here must finish
 // before the new owner may issue its own, or the two backing writes could
-// interleave.
+// interleave. Dirty payloads are destaged before dropping, exactly like
+// the per-key handler: until the new owner installs, this blade's copy is
+// the only one carrying the last acked write (see handleInvM).
 func (e *Engine) handleInvMBatch(p *sim.Proc, from simnet.Addr, args any) (any, int) {
 	req := args.(invMBatchReq)
 	for _, key := range req.Keys {
@@ -363,6 +386,16 @@ func (e *Engine) handleInvMBatch(p *sim.Proc, from simnet.Addr, args any) (any, 
 		}
 		for ent.Pinned {
 			p.Sleep(50 * sim.Microsecond)
+		}
+		if ent, ok := e.cache.Peek(key); ok && ent.Dirty {
+			ent.Pinned = true
+			err := e.backing.WriteBlock(p, key, ent.Data)
+			ent.Pinned = false
+			if err != nil {
+				e.stats.WritebackErrors++
+			} else {
+				e.stats.Writebacks++
+			}
 		}
 		e.cache.Remove(key)
 	}
@@ -491,10 +524,12 @@ func (e *Engine) ReadBlocksBatched(p *sim.Proc, keys []cache.Key, priority int) 
 			e.k.Go("getsb", func(q *sim.Proc) {
 				defer grp.Done()
 				ks := make([]cache.Key, len(groups[h]))
+				eps := make([]uint64, len(groups[h]))
 				for i, m := range groups[h] {
 					ks[i] = m.key
+					eps[i] = m.epoch
 				}
-				raw, err := e.call(q, h, "coh.getsb", getSBatchReq{Keys: ks}, batchSize(len(ks)))
+				raw, err := e.call(q, h, "coh.getsb", getSBatchReq{Keys: ks, Epochs: eps}, batchSize(len(ks)))
 				if err != nil {
 					errs[gi] = err
 					return
@@ -630,10 +665,12 @@ func (e *Engine) WriteBlocksBatched(p *sim.Proc, keys []cache.Key, blocks [][]by
 			e.k.Go("getxb", func(q *sim.Proc) {
 				defer grp.Done()
 				ks := make([]cache.Key, len(groups[h]))
+				eps := make([]uint64, len(groups[h]))
 				for i, m := range groups[h] {
 					ks[i] = m.key
+					eps[i] = m.epoch
 				}
-				raw, err := e.call(q, h, "coh.getxb", getXBatchReq{Keys: ks}, batchSize(len(ks)))
+				raw, err := e.call(q, h, "coh.getxb", getXBatchReq{Keys: ks, Epochs: eps}, batchSize(len(ks)))
 				if err != nil {
 					errs[gi] = err
 					return
@@ -718,6 +755,9 @@ func (e *Engine) finishWrite(p *sim.Proc, g pendingMiss, data []byte, priority, 
 		if err := e.replicate(p, key, stored, entry.Version, replFactor); err != nil {
 			return fmt.Errorf("coherence: replication: %w", err)
 		}
+	}
+	if e.onWriteThrough != nil {
+		e.onWriteThrough(p, []cache.Key{key})
 	}
 	return nil
 }

@@ -115,6 +115,9 @@ type Stats struct {
 	DirRequests   int64 // GetS/GetX handled as home
 	WriteRetries  int64
 	Prefetches    int64 // readahead blocks pulled (§4)
+	// ValueFetches counts coherence-bypassing value reads ("coh.getv")
+	// this blade served as home — the hot-key cache tier's fill traffic.
+	ValueFetches int64
 	// DegradedOps counts protocol calls abandoned after the fabric retry
 	// budget was exhausted (the op failed with ErrDegraded).
 	DegradedOps int64
@@ -144,7 +147,18 @@ type dirEntry struct {
 	state   dirState
 	sharers map[int]bool
 	owner   int
-	mu      *sim.Mutex
+	// epochs records, per registered sharer, the install epoch its copy
+	// lives under (the requester's invEpoch, carried in the GetS/GetX);
+	// ownerEpoch is the same for the Modified owner. Asynchronous evict
+	// notices carry the epoch the evicted copy lived under, and only a
+	// notice whose epoch is current may deregister: a blade can evict,
+	// re-request, and re-install while its notice is still in flight
+	// (notably via the ex-home relay path after a migration), and an
+	// unconditional removal would strand the fresh copy outside the
+	// sharer set — unreachable by invalidations, serving stale data.
+	epochs     map[int]uint64
+	ownerEpoch uint64
+	mu         *sim.Mutex
 }
 
 // Engine runs the coherence protocol for one blade.
@@ -179,6 +193,22 @@ type Engine struct {
 	// idx is the fixed-stride home-lookup cache (see homeidx.go).
 	idx *homeIndex
 
+	// onWriteThrough, when installed, runs synchronously on the WRITER
+	// blade after a write's Modified copy is installed (and replicated)
+	// and before the write is acknowledged to the client. The hot-key
+	// cache tier hangs its write-through invalidation here. The ordering
+	// is what makes the tier's freshness guarantee airtight: a tier fill
+	// snapshots its per-key epoch, fetches bytes, and installs only if
+	// the epoch has not moved — so a fill that read pre-write bytes
+	// either installed before this hook fired (the invalidation removes
+	// the copy) or snapshots after it (the fetch then observes the
+	// already-installed new bytes). Either way, by the time the writer's
+	// client sees the ack, no tier node holds bytes older than the write.
+	// Firing on the writer — not inside the home's GetX handler — also
+	// keeps the fan-out RPCs outside the directory-entry mutex, so hot
+	// keys don't convoy readers behind invalidation round trips.
+	onWriteThrough func(p *sim.Proc, keys []cache.Key)
+
 	// label is "blade<self>", precomputed for span Where fields.
 	label string
 
@@ -203,7 +233,14 @@ type Engine struct {
 // Message and reply payloads. Wire sizes: control ~64 B, data adds the block.
 const ctrlSize = 64
 
-type getSReq struct{ Key cache.Key }
+// Epoch in getSReq/getXReq is the requester's local install epoch for the
+// key; the home records it with the registration so late evict notices
+// (which carry the epoch the evicted copy lived under) can be told apart
+// from a re-registration that happened after the eviction.
+type getSReq struct {
+	Key   cache.Key
+	Epoch uint64
+}
 type getSResp struct {
 	Data []byte // non-nil: serve from this payload (peer cache transfer)
 	// NoCache marks data forwarded from a dirty owner: the requester
@@ -216,7 +253,10 @@ type getSResp struct {
 	NewHome  int
 	Err      string
 }
-type getXReq struct{ Key cache.Key }
+type getXReq struct {
+	Key   cache.Key
+	Epoch uint64
+}
 type getXResp struct {
 	Redirect bool
 	NewHome  int
@@ -240,10 +280,32 @@ type fetchResp struct {
 	Gone bool
 	Data []byte
 }
+
+// getVReq/getVResp implement the hot-key cache tier's fill path
+// ("coh.getv"): a read of the key's current bytes that does NOT join the
+// coherence domain. The requester is never registered as a sharer, the
+// directory state never transitions, and the requester installs nothing
+// into its coherence cache — the tier's freshness comes from the
+// write-through hook (see onWriteThrough), not from MSI bookkeeping.
+// Skipping the registration is what keeps hot keys cheap under mixed
+// traffic: a registered fill copy would make every subsequent write pay
+// an invalidation round trip inside the grant, and a GetS to a dirty hot
+// key would serialize behind the downgrade probe on the entry mutex.
+type getVReq struct{ Key cache.Key }
+type getVResp struct {
+	Data     []byte // nil: the backing store is current — read it locally
+	Redirect bool
+	NewHome  int
+}
 type evictNote struct {
 	Key      cache.Key
 	From     int
 	WasOwner bool
+	// Epoch is the install epoch the evicted copy lived under (the value
+	// of the evictor's invEpoch before the eviction bumped it). The home
+	// ignores the notice if the blade has since re-registered under a
+	// newer epoch.
+	Epoch uint64
 }
 
 // Home-migration payloads (hot-spot rebalancing, §2.2/§6.3). migrate is
@@ -259,11 +321,16 @@ type migrateResp struct {
 	Err   string
 }
 type adoptReq struct {
-	Key     cache.Key
-	State   uint8
-	Owner   int
-	Sharers []int
-	Heat    float64
+	Key   cache.Key
+	State uint8
+	Owner int
+	// Sharers and SharerEpochs are parallel: the registration epochs must
+	// migrate with the sharer set, or a pre-migration evict notice relayed
+	// to the new home could deregister a copy re-installed after it.
+	Sharers      []int
+	SharerEpochs []uint64
+	OwnerEpoch   uint64
+	Heat         float64
 }
 type adoptResp struct{}
 type setHomeReq struct {
@@ -338,6 +405,7 @@ func New(k *sim.Kernel, cfg Config) *Engine {
 	e.conn.Register("coh.invm", e.handleInvM)
 	e.conn.Register("coh.downgrade", e.handleDowngrade)
 	e.conn.Register("coh.fetch", e.handleFetch)
+	e.conn.Register("coh.getv", e.handleGetV)
 	e.conn.Register("coh.evict", e.handleEvictNote)
 	e.conn.Register("coh.migrate", e.handleMigrate)
 	e.conn.Register("coh.adopt", e.handleAdopt)
@@ -360,6 +428,15 @@ func (e *Engine) Alive() []int { return append([]int(nil), e.alive...) }
 
 // SetDown marks the engine up or down; down engines refuse client I/O.
 func (e *Engine) SetDown(down bool) { e.down = down }
+
+// SetWriteThroughHook installs (or, with nil, removes) the write-through
+// hook: fn runs synchronously on this blade for every write it issues,
+// after the Modified copy is installed and replicated, before the write
+// returns to the caller. fn may issue fabric RPCs; no directory mutexes
+// are held. See the onWriteThrough field for the ordering argument.
+func (e *Engine) SetWriteThroughHook(fn func(p *sim.Proc, keys []cache.Key)) {
+	e.onWriteThrough = fn
+}
 
 // home returns the blade ID that homes key: a migration override if one is
 // installed, the rendezvous hash over the live membership otherwise. The
@@ -469,6 +546,7 @@ func (e *Engine) RegisterTelemetry(s telemetry.Scope) {
 	coh.Int("peer_fetches", func() int64 { return e.stats.PeerFetches })
 	coh.Int("disk_reads", func() int64 { return e.stats.DiskReads })
 	coh.Int("writebacks", func() int64 { return e.stats.Writebacks })
+	coh.Int("value_fetches", func() int64 { return e.stats.ValueFetches })
 	coh.Int("invalidations", func() int64 { return e.stats.Invalidations })
 	coh.Int("downgrades", func() int64 { return e.stats.Downgrades })
 	coh.Int("dir_requests", func() int64 { return e.stats.DirRequests })
@@ -487,7 +565,7 @@ func (e *Engine) RegisterTelemetry(s telemetry.Scope) {
 func (e *Engine) entry(key cache.Key) *dirEntry {
 	ent, ok := e.dir[key]
 	if !ok {
-		ent = &dirEntry{sharers: make(map[int]bool), mu: sim.NewMutex(e.k)}
+		ent = &dirEntry{sharers: make(map[int]bool), epochs: make(map[int]uint64), mu: sim.NewMutex(e.k)}
 		e.dir[key] = ent
 	}
 	return ent
@@ -534,7 +612,7 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 	epoch := e.invEpoch[key]
 	var resp getSResp
 	for hops := 0; ; hops++ {
-		raw, err := e.call(p, homeID, "coh.gets", getSReq{Key: key}, ctrlSize)
+		raw, err := e.call(p, homeID, "coh.gets", getSReq{Key: key, Epoch: epoch}, ctrlSize)
 		if err != nil {
 			return nil, fmt.Errorf("coherence: gets to blade %d: %w", homeID, err)
 		}
@@ -591,6 +669,57 @@ func (e *Engine) readBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, er
 	return append([]byte(nil), data...), nil
 }
 
+// FetchBlock returns the key's current bytes without joining the
+// coherence domain: no sharer registration at the home, no install into
+// this blade's coherence cache, no directory state transition. It is the
+// hot-key cache tier's fill path. Freshness: the returned bytes are
+// never older than the last write acknowledged before the call — and
+// the tier's per-key epoch guard plus the writer-side write-through hook
+// (onWriteThrough) extend that to the install: any fill whose bytes a
+// concurrent write supersedes is either invalidated after install or
+// aborted by its epoch check before it.
+func (e *Engine) FetchBlock(p *sim.Proc, key cache.Key, priority int) ([]byte, error) {
+	if e.down {
+		return nil, fmt.Errorf("coherence: blade %d down", e.self)
+	}
+	e.stats.Reads++
+	e.busy(p, e.opDelay)
+	// A local coherent copy is current: if an exclusive grant for the key
+	// had passed since it was installed, the grant's invalidation would
+	// have removed it.
+	if ent, ok := e.cache.Get(key); ok && ent.State != cache.Invalid {
+		e.stats.LocalHits++
+		return append([]byte(nil), ent.Data...), nil
+	}
+	homeID, err := e.home(key)
+	if err != nil {
+		return nil, err
+	}
+	var resp getVResp
+	for hops := 0; ; hops++ {
+		raw, err := e.call(p, homeID, "coh.getv", getVReq{Key: key}, ctrlSize)
+		if err != nil {
+			return nil, fmt.Errorf("coherence: getv to blade %d: %w", homeID, err)
+		}
+		resp = raw.(getVResp)
+		if !resp.Redirect {
+			break
+		}
+		e.stats.RedirectsFollowed++
+		e.setHomeOverride(key, resp.NewHome)
+		homeID = resp.NewHome
+		if hops > len(e.peers)+8 {
+			return nil, fmt.Errorf("coherence: getv for %v: redirect loop", key)
+		}
+	}
+	if resp.Data != nil {
+		e.stats.PeerFetches++
+		return resp.Data, nil
+	}
+	e.stats.DiskReads++
+	return e.backing.ReadBlock(p, key)
+}
+
 // WriteBlock stores a full block, acquiring exclusive ownership first.
 // The write is acknowledged once the data is in this blade's cache (and
 // replicated, if a replication hook is installed); destage to the backing
@@ -621,7 +750,7 @@ func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, 
 		epoch := e.invEpoch[key]
 		var resp getXResp
 		for hops := 0; ; hops++ {
-			raw, err := e.call(p, homeID, "coh.getx", getXReq{Key: key}, ctrlSize)
+			raw, err := e.call(p, homeID, "coh.getx", getXReq{Key: key, Epoch: epoch}, ctrlSize)
 			if err != nil {
 				return fmt.Errorf("coherence: getx to blade %d: %w", homeID, err)
 			}
@@ -683,6 +812,9 @@ func (e *Engine) WriteBlockR(p *sim.Proc, key cache.Key, data []byte, priority, 
 				return fmt.Errorf("coherence: replication: %w", err)
 			}
 		}
+		if e.onWriteThrough != nil {
+			e.onWriteThrough(p, []cache.Key{key})
+		}
 		return nil
 	}
 }
@@ -727,6 +859,11 @@ func (e *Engine) makeRoom(p *sim.Proc) error {
 			}
 		}
 		wasOwner := v.State == cache.Modified
+		// The notice carries the epoch the copy lived under (pre-bump):
+		// the home matches it against the registration epoch so a notice
+		// that arrives after this blade re-registers cannot deregister
+		// the fresh copy.
+		noteEpoch := e.invEpoch[v.Key]
 		trace(v.Key, "t=%v blade%d evict state=%v", e.k.Now(), e.self, v.State)
 		e.cache.Evict(v)
 		// An eviction invalidates this blade's copy, so it must also age the
@@ -738,7 +875,7 @@ func (e *Engine) makeRoom(p *sim.Proc) error {
 		// Fire-and-forget directory notice; staleness is tolerated.
 		if homeID, err := e.home(v.Key); err == nil {
 			e.conn.Go(p, e.peers[homeID], "coh.evict",
-				evictNote{Key: v.Key, From: e.self, WasOwner: wasOwner}, ctrlSize, 0)
+				evictNote{Key: v.Key, From: e.self, WasOwner: wasOwner, Epoch: noteEpoch}, ctrlSize, 0)
 		}
 	}
 	return nil

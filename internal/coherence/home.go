@@ -55,6 +55,7 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 	case dirInvalid:
 		ent.state = dirShared
 		ent.sharers = map[int]bool{requester: true}
+		ent.epochs = map[int]uint64{requester: req.Epoch}
 		return getSResp{}, ctrlSize // backing store is current
 
 	case dirShared:
@@ -64,6 +65,7 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 		var data []byte
 		if e.noPeerFetch {
 			ent.sharers[requester] = true
+			ent.epochs[requester] = req.Epoch
 			return getSResp{}, ctrlSize
 		}
 		for _, s := range sortedSharers(ent.sharers) {
@@ -75,6 +77,7 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 				// Unreachable (dead) sharer: drop it so GetX invalidations
 				// don't stall on it later.
 				delete(ent.sharers, s)
+				delete(ent.epochs, s)
 				continue
 			}
 			if fr := raw.(fetchResp); !fr.Gone {
@@ -88,6 +91,7 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 			break
 		}
 		ent.sharers[requester] = true
+		ent.epochs[requester] = req.Epoch
 		return getSResp{Data: data}, ctrlSize + len(data)
 
 	default: // dirModified
@@ -115,9 +119,11 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 			}
 			if !dr.Gone {
 				// Clean owner downgraded to Shared; backing store is
-				// current (the copy was clean).
+				// current (the copy was clean). The owner's copy keeps
+				// living under the epoch recorded at its GetX.
 				ent.state = dirShared
 				ent.sharers = map[int]bool{requester: true, owner: true}
+				ent.epochs = map[int]uint64{requester: req.Epoch, owner: ent.ownerEpoch}
 				return getSResp{Data: dr.Data}, ctrlSize + len(dr.Data)
 			}
 		}
@@ -125,6 +131,7 @@ func (e *Engine) handleGetS(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 		// current.
 		ent.state = dirShared
 		ent.sharers = map[int]bool{requester: true}
+		ent.epochs = map[int]uint64{requester: req.Epoch}
 		return getSResp{}, ctrlSize
 	}
 }
@@ -176,8 +183,81 @@ func (e *Engine) handleGetX(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 	}
 	ent.state = dirModified
 	ent.owner = requester
+	ent.ownerEpoch = req.Epoch
 	ent.sharers = make(map[int]bool)
+	ent.epochs = make(map[int]uint64)
 	return getXResp{}, ctrlSize
+}
+
+// handleGetV serves a hot-key cache tier value fetch as the home blade:
+// the key's current bytes, with no sharer registration and no directory
+// state transition (see getVReq). The home's own coherent copy — any
+// non-Invalid state, dirty or clean — satisfies it without touching the
+// directory entry or its mutex, so tier fills of a write-hot key do not
+// convoy behind the GetS downgrade path. Only when the home holds no
+// copy does the fetch consult the directory: a dirty remote owner is
+// probed with a plain fetch (no downgrade — it keeps exclusive
+// ownership), a sharer serves a peer transfer, and an Invalid entry
+// means the backing store is current (invariant 3).
+func (e *Engine) handleGetV(p *sim.Proc, from simnet.Addr, args any) (any, int) {
+	req := args.(getVReq)
+	if to, ok := e.forward[req.Key]; ok {
+		e.stats.RedirectsServed++
+		return getVResp{Redirect: true, NewHome: to}, ctrlSize
+	}
+	e.stats.ValueFetches++
+	e.busy(p, e.hdlDelay)
+	e.heat.Touch(req.Key)
+	if ent, ok := e.cache.Get(req.Key); ok && ent.State != cache.Invalid {
+		trace(req.Key, "t=%v home%d GETV local state=%v dirty=%v d0=%d", e.k.Now(), e.self, ent.State, ent.Dirty, d0(ent.Data))
+		return getVResp{Data: append([]byte(nil), ent.Data...)}, ctrlSize + len(ent.Data)
+	}
+	ent := e.entry(req.Key)
+	ent.mu.Lock(p)
+	defer ent.mu.Unlock()
+	if to, ok := e.forward[req.Key]; ok {
+		e.stats.RedirectsServed++
+		return getVResp{Redirect: true, NewHome: to}, ctrlSize
+	}
+	trace(req.Key, "t=%v home%d GETV state=%d owner=%d sharers=%v", e.k.Now(), e.self, ent.state, ent.owner, ent.sharers)
+	switch ent.state {
+	case dirModified:
+		// A plain fetch, not a downgrade: the owner keeps its Modified
+		// copy and the directory does not transition, so the next write
+		// at the owner stays a local in-place update. A Gone owner is
+		// mid-install or has evicted; either way every acknowledged write
+		// has been destaged (makeRoom and InvM write dirty data back
+		// before dropping it), so the backing store is current.
+		raw, err := e.conn.CallRetry(p, e.peers[ent.owner], "coh.fetch", fetchReq{Key: req.Key}, ctrlSize, e.retry)
+		if err == nil {
+			if fr := raw.(fetchResp); !fr.Gone {
+				return getVResp{Data: fr.Data}, ctrlSize + len(fr.Data)
+			}
+		}
+		return getVResp{}, ctrlSize
+	case dirShared:
+		if e.noPeerFetch {
+			return getVResp{}, ctrlSize
+		}
+		for _, s := range sortedSharers(ent.sharers) {
+			raw, err := e.conn.CallRetry(p, e.peers[s], "coh.fetch", fetchReq{Key: req.Key}, ctrlSize, e.retry)
+			if err != nil {
+				delete(ent.sharers, s)
+				delete(ent.epochs, s)
+				if len(ent.sharers) == 0 {
+					ent.state = dirInvalid
+				}
+				continue
+			}
+			if fr := raw.(fetchResp); !fr.Gone {
+				return getVResp{Data: fr.Data}, ctrlSize + len(fr.Data)
+			}
+			break
+		}
+		return getVResp{}, ctrlSize
+	default: // dirInvalid: no copies anywhere, backing store current
+		return getVResp{}, ctrlSize
+	}
 }
 
 // handleInv drops a Shared copy.
@@ -193,8 +273,14 @@ func (e *Engine) handleInv(p *sim.Proc, from simnet.Addr, args any) (any, int) {
 }
 
 // handleInvM surrenders Modified ownership to a blade about to overwrite
-// the block. The dirty payload (if any) is superseded, so it is dropped
-// without a writeback; the home directory records the new owner.
+// the block. A dirty payload is destaged before the copy is dropped: this
+// blade holds the ONLY copy of the last acknowledged write, and the new
+// owner's superseding block does not exist anywhere yet — its install can
+// trail the grant by a long makeRoom stall, and during that window a
+// reader's downgrade probe finds the new owner empty and falls back to
+// the backing store under invariant 3 ("no copies ⇒ backing current").
+// Dropping acked dirty data here without a writeback is what used to
+// break that invariant and serve pre-ack data to concurrent readers.
 func (e *Engine) handleInvM(p *sim.Proc, from simnet.Addr, args any) (any, int) {
 	req := args.(invMReq)
 	e.stats.Invalidations++
@@ -208,6 +294,19 @@ func (e *Engine) handleInvM(p *sim.Proc, from simnet.Addr, args any) (any, int) 
 	// backing-store writes of old and new owner cannot interleave.
 	for ent.Pinned {
 		p.Sleep(50 * sim.Microsecond)
+	}
+	if ent, ok := e.cache.Peek(req.Key); ok && ent.Dirty {
+		ent.Pinned = true
+		err := e.backing.WriteBlock(p, req.Key, ent.Data)
+		ent.Pinned = false
+		if err != nil {
+			// A store that refuses the destage leaves the pre-drop
+			// behavior (and its staleness window); the write path stays
+			// available either way.
+			e.stats.WritebackErrors++
+		} else {
+			e.stats.Writebacks++
+		}
 	}
 	e.cache.Remove(req.Key)
 	return invMResp{}, ctrlSize
@@ -276,14 +375,24 @@ func (e *Engine) handleEvictNote(p *sim.Proc, from simnet.Addr, args any) (any, 
 	if !ok {
 		return nil, 0
 	}
+	// Only deregister if the notice matches the recorded registration
+	// epoch. A stale notice — the blade evicted, then re-requested and
+	// re-registered under a newer epoch before the notice arrived (the
+	// ex-home relay above adds a whole extra hop for it to lose) — must
+	// be dropped: removing the re-registered sharer would strand its
+	// live copy outside the sharer set, where GetX invalidations cannot
+	// reach it and local hits would serve stale data indefinitely.
 	switch ent.state {
 	case dirShared:
-		delete(ent.sharers, note.From)
-		if len(ent.sharers) == 0 {
-			ent.state = dirInvalid
+		if ent.sharers[note.From] && note.Epoch >= ent.epochs[note.From] {
+			delete(ent.sharers, note.From)
+			delete(ent.epochs, note.From)
+			if len(ent.sharers) == 0 {
+				ent.state = dirInvalid
+			}
 		}
 	case dirModified:
-		if note.WasOwner && ent.owner == note.From {
+		if note.WasOwner && ent.owner == note.From && note.Epoch >= ent.ownerEpoch {
 			ent.state = dirInvalid // backing store current, invariant 3
 		}
 	}

@@ -72,12 +72,19 @@ func (e *Engine) handleMigrate(p *sim.Proc, from simnet.Addr, args any) (any, in
 	trace(req.Key, "t=%v home%d MIGRATE -> %d state=%d owner=%d sharers=%v",
 		e.k.Now(), e.self, req.To, ent.state, ent.owner, ent.sharers)
 	heat := e.heat.Take(req.Key)
+	sharers := sortedSharers(ent.sharers)
+	epochs := make([]uint64, len(sharers))
+	for i, s := range sharers {
+		epochs[i] = ent.epochs[s]
+	}
 	areq := adoptReq{
-		Key:     req.Key,
-		State:   uint8(ent.state),
-		Owner:   ent.owner,
-		Sharers: sortedSharers(ent.sharers),
-		Heat:    heat,
+		Key:          req.Key,
+		State:        uint8(ent.state),
+		Owner:        ent.owner,
+		Sharers:      sharers,
+		SharerEpochs: epochs,
+		OwnerEpoch:   ent.ownerEpoch,
+		Heat:         heat,
 	}
 	if _, err := e.call(p, req.To, "coh.adopt", areq, ctrlSize); err != nil {
 		// Adoption never happened: the home is unchanged, restore the heat.
@@ -107,9 +114,12 @@ func (e *Engine) handleAdopt(p *sim.Proc, from simnet.Addr, args any) (any, int)
 	ent := e.entry(req.Key)
 	ent.state = dirState(req.State)
 	ent.owner = req.Owner
+	ent.ownerEpoch = req.OwnerEpoch
 	ent.sharers = make(map[int]bool, len(req.Sharers))
-	for _, s := range req.Sharers {
+	ent.epochs = make(map[int]uint64, len(req.Sharers))
+	for i, s := range req.Sharers {
 		ent.sharers[s] = true
+		ent.epochs[s] = req.SharerEpochs[i]
 	}
 	e.heat.Seed(req.Key, req.Heat)
 	e.stats.HomeAdoptions++

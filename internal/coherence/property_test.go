@@ -205,105 +205,16 @@ func runMixedScheduleProperty(t *testing.T, seed int64) {
 	}
 }
 
-// checkDirectoryInvariants inspects the drained cluster's directory and
-// cache state structurally (same package: unexported fields are fair game).
+// checkDirectoryInvariants delegates to the exported structural checker
+// (verify.go) — the same invariants the hotcache property tests assert
+// while the upper cache layer is active.
 func checkDirectoryInvariants(t *testing.T, h *harness, keys int) {
 	t.Helper()
-	for k := 0; k < keys; k++ {
-		key := kb(int64(k))
-
-		// a. One home, agreed by everyone, and it is alive.
-		home, err := h.engines[0].Home(key)
-		if err != nil {
-			t.Fatalf("key %d: no home: %v", k, err)
-		}
-		for _, e := range h.engines {
-			got, err := e.Home(key)
-			if err != nil || got != home {
-				t.Fatalf("key %d: blade%d says home=%d (err %v), blade0 says %d",
-					k, e.Self(), got, err, home)
-			}
-		}
-		alive := false
-		for _, b := range h.engines[home].Alive() {
-			if b == home {
-				alive = true
-			}
-		}
-		if !alive {
-			t.Fatalf("key %d: home %d not in membership", k, home)
-		}
-		for _, e := range h.engines {
-			if e.Self() == home {
-				continue
-			}
-			if ent, ok := e.dir[key]; ok && ent.state != dirInvalid {
-				t.Fatalf("key %d: non-home blade%d holds active dir entry state=%d",
-					k, e.Self(), ent.state)
-			}
-		}
-
-		// Collect every cached copy.
-		var copies []copyAt
-		for _, e := range h.engines {
-			if ent, ok := e.cache.Peek(key); ok && ent.State != cache.Invalid {
-				copies = append(copies, copyAt{e.Self(), ent})
-			}
-		}
-		var mCopies []copyAt
-		for _, c := range copies {
-			if c.ent.State == cache.Modified {
-				mCopies = append(mCopies, c)
-			}
-		}
-		if len(mCopies) > 1 {
-			t.Fatalf("key %d: %d Modified copies cluster-wide", k, len(mCopies))
-		}
-
-		dirEnt, hasDir := h.engines[home].dir[key]
-		state := dirInvalid
-		if hasDir {
-			state = dirEnt.state
-		}
-		switch state {
-		case dirModified:
-			// b. Exactly the owner caches it, in M.
-			if len(copies) != 1 || copies[0].blade != dirEnt.owner || copies[0].ent.State != cache.Modified {
-				t.Fatalf("key %d: dir Modified(owner %d) but copies %+v", k, dirEnt.owner, describe(copies))
-			}
-		case dirShared:
-			// c. Cached copies are clean S and registered as sharers.
-			for _, c := range copies {
-				if c.ent.State != cache.Shared || c.ent.Dirty {
-					t.Fatalf("key %d: dir Shared but blade%d holds state=%v dirty=%v",
-						k, c.blade, c.ent.State, c.ent.Dirty)
-				}
-				if !dirEnt.sharers[c.blade] {
-					t.Fatalf("key %d: blade%d caches S copy but is not in sharer set %v",
-						k, c.blade, dirEnt.sharers)
-				}
-			}
-			if len(mCopies) != 0 {
-				t.Fatalf("key %d: dir Shared with a Modified copy at blade%d", k, mCopies[0].blade)
-			}
-		case dirInvalid:
-			if len(copies) != 0 {
-				t.Fatalf("key %d: dir Invalid but cached at %+v", k, describe(copies))
-			}
-		}
+	ks := make([]cache.Key, keys)
+	for k := range ks {
+		ks[k] = kb(int64(k))
 	}
-}
-
-// copyAt is one blade's cached copy of a key, for invariant reporting.
-type copyAt struct {
-	blade int
-	ent   *cache.Entry
-}
-
-func describe(copies []copyAt) []string {
-	out := make([]string, 0, len(copies))
-	for _, c := range copies {
-		out = append(out, fmt.Sprintf("blade%d:%v dirty=%v", c.blade, c.ent.State, c.ent.Dirty))
+	if err := CheckInvariants(h.engines, ks); err != nil {
+		t.Fatal(err)
 	}
-	return out
 }

@@ -14,6 +14,14 @@ func trace(key cache.Key, format string, args ...any) {
 	}
 }
 
+// SetTrace installs (or, with a nil fn, removes) a protocol trace sink for
+// one key, for tests outside this package debugging an interleaving. Not
+// safe to change while a simulation is running.
+func SetTrace(key cache.Key, fn func(format string, args ...any)) {
+	traceKey = key
+	traceFn = fn
+}
+
 // d0 renders a block's first byte for trace lines, tolerating zero-length
 // payloads (indexing Data[0] directly panics when tracing a zero-length
 // block); -1 means "empty".

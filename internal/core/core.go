@@ -16,6 +16,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/disk"
 	"repro/internal/georepl"
+	"repro/internal/hotcache"
 	"repro/internal/pfs"
 	"repro/internal/qos"
 	"repro/internal/raid"
@@ -81,15 +82,32 @@ type Options struct {
 	// whose p99 op latency exceeds this emits an slo event, as do client
 	// errors and degraded-mode entry/exit. Zero leaves latency unwatched.
 	SLOReadP99 sim.Duration
-	// Balance, when true, attaches the adaptive hot-spot rebalancer
-	// (System.Balancer): it watches the scraper's per-blade load series
-	// and migrates directory homes of the hottest blocks off sustained
-	// hot blades. Requires Telemetry (the scraper is its feedback signal).
-	// The controller starts enabled; System.Balancer.SetEnabled toggles it.
+	// Rebalance selects the load-spreading scheme behind the uniform
+	// Rebalancer interface (System.Rebalancer):
+	//
+	//	"migrate"  — the adaptive hot-spot balancer (System.Balancer):
+	//	             watches the scraper's per-blade load series and
+	//	             migrates directory homes of the hottest blocks off
+	//	             sustained hot blades. Requires Telemetry (the
+	//	             scraper is its feedback signal). Starts enabled.
+	//	"hotcache" — the DistCache-style hot-key cache tier
+	//	             (System.HotCache): one small cache node per blade,
+	//	             keys partitioned by a hash independent of the
+	//	             directory-home hash, two-choice routing between the
+	//	             layers, write-through invalidation. Starts DISABLED
+	//	             (arm with System.HotCache.SetEnabled or yottactl
+	//	             `rebalance on`).
+	//	"off" / "" — no scheme (unless the legacy Balance flag is set).
+	Rebalance string
+	// Balance is the legacy spelling of Rebalance: "migrate". Setting
+	// both (with Rebalance not "migrate") is a configuration error.
 	Balance bool
-	// BalanceConfig overrides the rebalancer's thresholds and pacing
-	// (zero fields mirror the hot-spot watchdog defaults).
+	// BalanceConfig overrides the migration balancer's thresholds and
+	// pacing (zero fields mirror the hot-spot watchdog defaults).
 	BalanceConfig balance.Config
+	// HotCacheConfig sizes the cache tier (zero fields = hotcache
+	// defaults: 512 blocks/node, heat threshold 8, half-life 250ms).
+	HotCacheConfig hotcache.Config
 	// QoS, when non-nil, builds the multi-tenant admission-control and
 	// weighted-fair scheduling subsystem (System.QoS): per-tenant token
 	// buckets at the controller front door and priority lanes at every
@@ -156,9 +174,15 @@ type System struct {
 	// Scraper is non-nil when Options.Telemetry was set; it is already
 	// started and is stopped by System.Stop.
 	Scraper *telemetry.Scraper
-	// Balancer is non-nil when Options.Balance was set; it is already
-	// started and is stopped by System.Stop.
+	// Balancer is non-nil when the "migrate" scheme was selected; it is
+	// already started and is stopped by System.Stop.
 	Balancer *balance.Controller
+	// HotCache is non-nil when the "hotcache" scheme was selected; it
+	// starts disabled.
+	HotCache *hotcache.Tier
+	// Rebalancer is the scheme-independent handle over whichever of
+	// Balancer/HotCache was built (nil with Rebalance off).
+	Rebalancer Rebalancer
 	// QoS is non-nil when Options.QoS was set; it starts disabled.
 	QoS *qos.Manager
 
@@ -258,12 +282,27 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 		}
 		sys.stopScrape = sys.Scraper.Start()
 	}
+	scheme := opts.Rebalance
 	if opts.Balance {
+		if scheme != "" && scheme != RebalanceMigrate {
+			return nil, fmt.Errorf("core: Balance (legacy migrate flag) conflicts with Rebalance=%q", scheme)
+		}
+		scheme = RebalanceMigrate
+	}
+	switch scheme {
+	case "", RebalanceOff:
+	case RebalanceMigrate:
 		if sys.Scraper == nil {
 			return nil, fmt.Errorf("core: Balance requires Telemetry (the scraper is the rebalancer's feedback signal)")
 		}
 		sys.Balancer = cluster.NewBalancer(sys.Scraper, opts.BalanceConfig)
+		sys.Rebalancer = sys.Balancer
 		sys.stopBalance = sys.Balancer.Start()
+	case RebalanceHotCache:
+		sys.HotCache = cluster.NewHotCache(opts.HotCacheConfig)
+		sys.Rebalancer = sys.HotCache
+	default:
+		return nil, fmt.Errorf("core: unknown Rebalance scheme %q (want migrate, hotcache, or off)", scheme)
 	}
 	return sys, nil
 }

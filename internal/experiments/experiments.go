@@ -155,6 +155,7 @@ func All(seed int64) []*metrics.Table {
 		E12(seed),
 		E13(seed),
 		E14(seed),
+		E15(seed),
 	}
 }
 

@@ -66,6 +66,25 @@ type GovernorSummary struct {
 	BurstPISteadyP99  float64 `json:"burst_pi_steady_p99_ms"`
 }
 
+// HotCacheSummary condenses E15Q — the hot-key cache tier raced against
+// home migration under fast-shifting Zipf skew, at the reduced CI scale —
+// into the perf record: the shifting regime's three arms (throughput,
+// windowed load CV, op p99) plus the cache tier's activity counters. The
+// -baseline gate watches ShiftHotP99Ms.
+type HotCacheSummary struct {
+	ShiftOffOpsPerSec     float64 `json:"shift_off_ops_per_sec"`
+	ShiftMigrateOpsPerSec float64 `json:"shift_migrate_ops_per_sec"`
+	ShiftHotOpsPerSec     float64 `json:"shift_hot_ops_per_sec"`
+	ShiftMigrateWinCV     float64 `json:"shift_migrate_win_cv"`
+	ShiftHotWinCV         float64 `json:"shift_hot_win_cv"`
+	ShiftMigrateP99Ms     float64 `json:"shift_migrate_p99_ms"`
+	ShiftHotP99Ms         float64 `json:"shift_hot_p99_ms"`
+	CacheHits             int64   `json:"cache_hits"`
+	CacheFills            int64   `json:"cache_fills"`
+	InvalKeys             int64   `json:"inval_keys"`
+	Migrations            int64   `json:"migrations"`
+}
+
 // PhaseBudget is one phase's slice of the critical-path latency budget:
 // inclusive span count, total critical time and its share of all op wall
 // time, plus the phase's mean critical contribution to a median op and a
@@ -145,6 +164,7 @@ type Snapshot struct {
 	Balance   BalanceSummary            `json:"balance"`
 	QoS       QoSSummary                `json:"qos"`
 	Governor  GovernorSummary           `json:"governor"`
+	HotCache  HotCacheSummary           `json:"hotcache"`
 }
 
 // BatchComparison is the PR6 perf record: the canonical snapshot workload
@@ -162,17 +182,20 @@ type BatchComparison struct {
 // under a mixed read/write closed loop with tracing on — and returns the
 // per-phase summary plus the E12 balance and E13 QoS summaries.
 // Deterministic per seed.
-func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true, true, true, false) }
+func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true, true, true, true, false) }
 
 // PerfSnapshotBatched is PerfSnapshot on the batched fabric plane,
-// without the E12/E13/E14 arms (they characterize orthogonal subsystems).
-func PerfSnapshotBatched(seed int64) Snapshot { return perfSnapshot(seed, false, false, false, true) }
+// without the E12/E13/E14/E15 arms (they characterize orthogonal
+// subsystems).
+func PerfSnapshotBatched(seed int64) Snapshot {
+	return perfSnapshot(seed, false, false, false, false, true)
+}
 
 // RunBatchComparison builds the PR6 record: same seed, same workload,
 // unbatched then batched, plus headline reductions.
 func RunBatchComparison(seed int64) BatchComparison {
-	un := perfSnapshot(seed, true, true, true, false)
-	ba := perfSnapshot(seed, false, false, false, true)
+	un := perfSnapshot(seed, true, true, true, true, false)
+	ba := perfSnapshot(seed, false, false, false, false, true)
 	cmp := BatchComparison{Unbatched: un, Batched: ba}
 	if f, ok := un.Phases["fabric"]; ok && f.P99Ms > 0 {
 		cmp.FabricP99ReductionPct = 100 * (f.P99Ms - ba.Phases["fabric"].P99Ms) / f.P99Ms
@@ -225,12 +248,13 @@ func canonicalTraced(seed int64, batched bool) (*workload.Runner, *trace.Tracer)
 	return r, tracer
 }
 
-// perfSnapshot optionally skips the E12, E13 and E14 arms: the snapshot
-// tests double-run the builder to prove determinism, and paying for
-// second full runs there would duplicate what TestE12Deterministic,
-// TestE13Deterministic and TestE14Deterministic already assert while
-// pushing the package past the default go-test timeout.
-func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, batched bool) Snapshot {
+// perfSnapshot optionally skips the E12, E13, E14 and E15 arms: the
+// snapshot tests double-run the builder to prove determinism, and paying
+// for second full runs there would duplicate what TestE12Deterministic,
+// TestE13Deterministic, TestE14Deterministic and TestE15QuickDeterministic
+// already assert while pushing the package past the default go-test
+// timeout.
+func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, withHotCache, batched bool) Snapshot {
 	r, tracer := canonicalTraced(seed, batched)
 
 	snap := Snapshot{
@@ -301,6 +325,22 @@ func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, batched bool) 
 			StepScrubChunks:   e14.Step.ScrubChunks,
 			BurstPIReversals:  e14.BurstPI.Reversals,
 			BurstPISteadyP99:  e14.BurstPI.SteadyP99.Millis(),
+		}
+	}
+	if withHotCache {
+		e15 := RunE15Quick(seed)
+		snap.HotCache = HotCacheSummary{
+			ShiftOffOpsPerSec:     e15.ShiftOff.OpsPerSec,
+			ShiftMigrateOpsPerSec: e15.ShiftMigrate.OpsPerSec,
+			ShiftHotOpsPerSec:     e15.ShiftHotCache.OpsPerSec,
+			ShiftMigrateWinCV:     e15.ShiftMigrate.WinCV,
+			ShiftHotWinCV:         e15.ShiftHotCache.WinCV,
+			ShiftMigrateP99Ms:     e15.ShiftMigrate.P99.Millis(),
+			ShiftHotP99Ms:         e15.ShiftHotCache.P99.Millis(),
+			CacheHits:             e15.ShiftHotCache.CacheHits,
+			CacheFills:            e15.ShiftHotCache.CacheFills,
+			InvalKeys:             e15.ShiftHotCache.Invals,
+			Migrations:            e15.ShiftMigrate.Migrations,
 		}
 	}
 	return snap

@@ -1,0 +1,58 @@
+package hotcache
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// FuzzHotcacheRouting pounds on the routing layer's algebraic invariants:
+// the partition hash is a pure function of the key, CacheBlade always
+// lands in range and is stable, and routeChoice's answer is exactly
+// characterized by viaCache ⇔ (chosen blade == cache blade ≠ home) under
+// the power-of-two-choices rule (ties go to the cache node). These are
+// the properties the tier's correctness argument leans on: a viaCache=
+// true answer is the only path that may install into a cache node, and
+// write-through invalidation finds that node by recomputing the same
+// CacheBlade.
+func FuzzHotcacheRouting(f *testing.F) {
+	f.Add("vol0", int64(0), byte(4), byte(0), uint16(0), uint16(0))
+	f.Add("scratch", int64(1<<40), byte(1), byte(0), uint16(9), uint16(3))
+	f.Add("v", int64(-7), byte(8), byte(5), uint16(2), uint16(2))
+	f.Add("", int64(123456789), byte(16), byte(255), uint16(65535), uint16(0))
+	f.Fuzz(func(t *testing.T, vol string, lba int64, blades, homeRaw byte, icb, ihome uint16) {
+		n := int(blades)%32 + 1 // 1..32 blades
+		home := int(homeRaw) % n
+		key := cache.Key{Vol: vol, LBA: lba}
+
+		if h1, h2 := PartitionHash(key), PartitionHash(key); h1 != h2 {
+			t.Fatalf("PartitionHash(%v) unstable: %x vs %x", key, h1, h2)
+		}
+		cb := CacheBlade(key, n)
+		if cb < 0 || cb >= n {
+			t.Fatalf("CacheBlade(%v, %d) = %d out of range", key, n, cb)
+		}
+		if again := CacheBlade(key, n); again != cb {
+			t.Fatalf("CacheBlade(%v, %d) unstable: %d vs %d", key, n, cb, again)
+		}
+
+		blade, via := routeChoice(cb, home, int(icb), int(ihome))
+		if blade != cb && blade != home {
+			t.Fatalf("routeChoice(%d, %d, %d, %d) chose %d: neither cache blade nor home",
+				cb, home, icb, ihome, blade)
+		}
+		if via != (blade == cb && cb != home) {
+			t.Fatalf("routeChoice(%d, %d, %d, %d) = (%d, %v): viaCache must hold iff the cache blade (≠ home) was chosen",
+				cb, home, icb, ihome, blade, via)
+		}
+		if cb == home && via {
+			t.Fatalf("routeChoice(%d, %d, ...) reported viaCache on a hash collision", cb, home)
+		}
+		if int(icb) > int(ihome) && via {
+			t.Fatalf("routeChoice(%d, %d, %d, %d) picked the busier cache node", cb, home, icb, ihome)
+		}
+		if cb != home && int(icb) <= int(ihome) && !via {
+			t.Fatalf("routeChoice(%d, %d, %d, %d) skipped the free (or tied) cache node", cb, home, icb, ihome)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+// Package hotcache is the DistCache-style upper cache layer: one small
+// cache node per blade, keys partitioned by a hash independent of the
+// directory-home hash, absorbing reads for the hottest directory keys.
+//
+// The load-balance argument is DistCache's: the lower layer (directory
+// homes) partitions keys by one hash, the upper layer by an independent
+// one, and the client picks between a key's two candidate blades with
+// power-of-two-choices. For any hot set, the two partitions disagree on
+// almost every key, so the union of the two layers spreads the hot keys
+// across ~2× the blades and po2c keeps the per-blade load within a
+// constant factor of even — without moving any directory state.
+//
+// Correctness rides on write-through invalidation: every write
+// invalidates the upper layer's copies after its Modified copy is
+// installed and before it is acknowledged (see
+// coherence.SetWriteThroughHook), and fills guard their installs with a
+// per-key epoch snapshotted before the fetch — so a cached read can
+// never return data older than the last acked write.
+package hotcache
+
+import (
+	"strconv"
+
+	"repro/internal/cache"
+)
+
+// fnv1a64 constants (hash/fnv), inlined like coherence.keyHash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// PartitionHash maps a key to the upper cache layer's partition space.
+// It must be independent of the directory-home hash (coherence.keyHash)
+// or the two layers would co-locate every hot key on the same blade and
+// the two-choice routing would degenerate to one choice. Independence
+// comes from salting the FNV stream and passing the result through a
+// splitmix64 finalizer, which decorrelates even keys whose unsalted FNV
+// digests are close.
+func PartitionHash(key cache.Key) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key.Vol); i++ {
+		h ^= uint64(key.Vol[i])
+		h *= fnvPrime64
+	}
+	h ^= '#' // salt: coherence.keyHash joins with '/'
+	h *= fnvPrime64
+	var buf [20]byte
+	for _, c := range strconv.AppendInt(buf[:0], key.LBA, 10) {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// CacheBlade returns the blade whose cache node owns key in the upper
+// layer's partition, for a cluster of n blades. The partition is static
+// over all blades (not the live subset): a down blade's cache shard is
+// simply unreachable and routing falls back to the key's home, rather
+// than re-partitioning — which would orphan cached copies from their
+// invalidation path.
+func CacheBlade(key cache.Key, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(PartitionHash(key) % uint64(n))
+}

@@ -108,6 +108,78 @@ func (z *Zipf) Next(rng *rand.Rand) Op {
 	return Op{LBA: int64(z.z.Uint64()), Blocks: blocks, Write: rng.Float64() < z.WriteFrac}
 }
 
+// ShiftingZipf is Zipf whose hot set rotates: every RotateEvery ops the
+// whole rank→block mapping shifts by Stride, so yesterday's hottest
+// blocks go cold and a fresh set heats up. This is the adversarial case
+// for home migration — by the time the balancer has observed, planned,
+// and moved a hot home, the heat has already moved on — and the friendly
+// case for a cache tier that fills in one miss.
+//
+// Rotation counts this pattern instance's ops (each client owns its own
+// instance), so phase boundaries land on exact op indices: ops
+// [0, RotateEvery) use phase 0, [RotateEvery, 2·RotateEvery) phase 1, …
+// Like Zipf, construct with NewShiftingZipf so the value generator binds
+// to one rng from op 0.
+type ShiftingZipf struct {
+	Range     int64
+	S         float64
+	Blocks    int
+	WriteFrac float64
+	// RotateEvery is the hot-set lifetime in ops (default 1024).
+	RotateEvery int64
+	// Stride is the per-phase shift of the rank→block mapping. Pick it
+	// co-prime with Range so successive hot sets don't overlap (default
+	// a fixed prime).
+	Stride int64
+
+	z   *rand.Zipf
+	ops int64
+}
+
+// NewShiftingZipf builds a ShiftingZipf bound to rng from construction.
+func NewShiftingZipf(rng *rand.Rand, rangeBlocks int64, s float64, blocks int, writeFrac float64, rotateEvery, stride int64) *ShiftingZipf {
+	z := &ShiftingZipf{Range: rangeBlocks, S: s, Blocks: blocks, WriteFrac: writeFrac,
+		RotateEvery: rotateEvery, Stride: stride}
+	z.bind(rng)
+	return z
+}
+
+func (z *ShiftingZipf) bind(rng *rand.Rand) {
+	s := z.S
+	if s <= 1 {
+		s = 1.1
+	}
+	z.z = rand.NewZipf(rng, s, 1, uint64(max64(z.Range-1, 1)))
+}
+
+// Next returns the next operation; the Zipf rank is drawn first, then
+// displaced by the current phase's rotation.
+func (z *ShiftingZipf) Next(rng *rand.Rand) Op {
+	if z.z == nil {
+		z.bind(rng) // literal construction: bind on first use (see Zipf doc)
+	}
+	rotate := z.RotateEvery
+	if rotate <= 0 {
+		rotate = 1024
+	}
+	stride := z.Stride
+	if stride <= 0 {
+		stride = 2999
+	}
+	phase := z.ops / rotate
+	z.ops++
+	blocks := z.Blocks
+	if blocks <= 0 {
+		blocks = 1
+	}
+	rank := int64(z.z.Uint64())
+	lba := (rank + phase*stride) % z.Range
+	if lba < 0 {
+		lba += z.Range
+	}
+	return Op{LBA: lba, Blocks: blocks, Write: rng.Float64() < z.WriteFrac}
+}
+
 func max64(a, b int64) int64 {
 	if a > b {
 		return a

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -195,6 +196,113 @@ func TestRunnerDeterministic(t *testing.T) {
 	}
 	if a, b := runOnce(), runOnce(); a != b {
 		t.Fatalf("nondeterministic runner: %d vs %d", a, b)
+	}
+}
+
+// TestShiftingZipfSameSeedIdentical: same seed → byte-identical op
+// stream, including the rotation schedule (it counts the instance's own
+// ops, not any shared clock).
+func TestShiftingZipfSameSeedIdentical(t *testing.T) {
+	const seed, ops = 42, 5000
+	mk := func() []Op {
+		rng := rand.New(rand.NewSource(seed))
+		z := NewShiftingZipf(rng, 8192, 1.1, 1, 0.2, 512, 2999)
+		out := make([]Op, ops)
+		for i := range out {
+			out[i] = z.Next(rng)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShiftingZipfRotationBoundaries: the phase displacement changes at
+// exactly op RotateEvery, 2·RotateEvery, … — never one op early or late.
+// Verified by replaying the identical rank stream through an unshifted
+// Zipf twin and checking lba == (rank + phase·stride) mod range with the
+// phase derived from the op index alone.
+func TestShiftingZipfRotationBoundaries(t *testing.T) {
+	const (
+		seed   = 7
+		rng64  = 4096
+		rotate = 256
+		stride = 997
+		ops    = 5 * rotate
+	)
+	rngA := rand.New(rand.NewSource(seed))
+	shifting := NewShiftingZipf(rngA, rng64, 1.2, 1, 0, rotate, stride)
+	rngB := rand.New(rand.NewSource(seed))
+	plain := NewZipf(rngB, rng64, 1.2, 1, 0)
+	for i := 0; i < ops; i++ {
+		got := shifting.Next(rngA).LBA
+		rank := plain.Next(rngB).LBA
+		phase := int64(i / rotate)
+		want := (rank + phase*stride) % rng64
+		if got != want {
+			t.Fatalf("op %d (phase %d): lba=%d, want (rank %d + %d*%d) mod %d = %d",
+				i, phase, got, rank, phase, stride, rng64, want)
+		}
+	}
+}
+
+// TestShiftingZipfHotSetMoves: within one phase the top-k blocks carry a
+// Zipf-sized share of the mass, and consecutive phases' top-k sets are
+// (nearly) disjoint — the whole point of the rotation.
+func TestShiftingZipfHotSetMoves(t *testing.T) {
+	const (
+		rotate = 4096
+		stride = 2999
+		rng64  = 1 << 14
+		topK   = 8
+	)
+	rng := rand.New(rand.NewSource(11))
+	z := NewShiftingZipf(rng, rng64, 1.2, 1, 0, rotate, stride)
+	topSet := func() (map[int64]bool, float64) {
+		counts := make(map[int64]int)
+		for i := 0; i < rotate; i++ {
+			counts[z.Next(rng).LBA]++
+		}
+		type kc struct {
+			lba int64
+			n   int
+		}
+		ranked := make([]kc, 0, len(counts))
+		for l, n := range counts {
+			ranked = append(ranked, kc{l, n})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].n != ranked[j].n {
+				return ranked[i].n > ranked[j].n
+			}
+			return ranked[i].lba < ranked[j].lba
+		})
+		top := make(map[int64]bool)
+		mass := 0
+		for i := 0; i < topK && i < len(ranked); i++ {
+			top[ranked[i].lba] = true
+			mass += ranked[i].n
+		}
+		return top, float64(mass) / rotate
+	}
+	top0, mass0 := topSet()
+	top1, mass1 := topSet()
+	// Zipf s=1.2: the top-8 of 16k blocks must dominate the phase.
+	if mass0 < 0.25 || mass1 < 0.25 {
+		t.Fatalf("top-%d mass %.2f/%.2f, want ≥0.25 each phase", topK, mass0, mass1)
+	}
+	overlap := 0
+	for l := range top1 {
+		if top0[l] {
+			overlap++
+		}
+	}
+	if overlap > topK/2 {
+		t.Fatalf("phase 0 and 1 top-%d sets overlap in %d blocks; hot set did not move", topK, overlap)
 	}
 }
 
