@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke batch-smoke governor-smoke analyze-smoke cache-smoke bench-check
+.PHONY: all build vet test race verify bench snapshot experiments fuzz-smoke qos-smoke batch-smoke governor-smoke analyze-smoke cache-smoke gateway-smoke bench-check
 
 all: verify
 
@@ -26,24 +26,19 @@ bench:
 # snapshot writes the per-PR perf record: the canonical workload run
 # unbatched and on the batched fabric plane (per-phase p50/p99 +
 # throughput, the critical-path latency budget, plus the E12 balance,
-# E13 QoS, E14 governor and E15 cache-tier summaries), diffed against
-# the previous PR's committed record.
-# BENCH_PR9.json is not diffed against BENCH_PR8.json: PR 9's batched
-# InvM handler now destages dirty payloads before dropping ownership
-# (previously it silently discarded them — lost acked writes), so the
-# batched-plane fabric p99 legitimately reset from 40.78 ms to 253.37 ms
-# and the 10% gate would flag the correctness fix forever. bench-check
-# gates against the PR9 record going forward.
+# E13 QoS, E14 governor, E15 cache-tier and E16 gateway summaries),
+# diffed against the previous PR's committed record.
 snapshot:
-	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR9.json
+	$(GO) run ./cmd/benchrunner -snapshot BENCH_PR10.json
 
 # bench-check regenerates the snapshot into a scratch file and diffs it
-# against the committed BENCH_PR9.json: a fabric p99 regression over 10%
+# against the committed BENCH_PR10.json: a fabric p99 regression over 10%
 # on either plane, an E14 PI victim p99 regression over 10%, an E15Q
-# shifting-skew hotcache op p99 regression over 10%, or any phase's tail
-# critical-path share growing over 5 points fails loudly.
+# shifting-skew hotcache op p99 regression over 10%, an E16Q sharded
+# gateway ceiling drop over 10%, or any phase's tail critical-path share
+# growing over 5 points fails loudly.
 bench-check:
-	$(GO) run ./cmd/benchrunner -snapshot /tmp/bench_check.json -baseline BENCH_PR9.json
+	$(GO) run ./cmd/benchrunner -snapshot /tmp/bench_check.json -baseline BENCH_PR10.json
 
 # qos-smoke runs the reduced-scale multi-tenant isolation experiment —
 # the CI gate that admission control and fair queueing still isolate.
@@ -61,6 +56,13 @@ governor-smoke:
 # Zipf and fast-shifting-Zipf load, all from one seed.
 cache-smoke:
 	$(GO) run ./cmd/benchrunner -only E15Q
+
+# gateway-smoke runs the reduced-scale object-gateway shard-scaling
+# sweep: closed-loop clients against 1 vs 4 metadata shards, asserting
+# the linear region, the single-shard ceiling and the sharded lift via
+# the E16 test suite's quick arm.
+gateway-smoke:
+	$(GO) run ./cmd/benchrunner -only E16Q
 
 # analyze-smoke is the CI gate for critical-path attribution: the
 # attribution identities (wall = Σ critical; inclusive = critical +
@@ -89,3 +91,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzGF256$$' -fuzztime $(FUZZTIME) ./internal/raid
 	$(GO) test -run '^$$' -fuzz '^FuzzReconstruct$$' -fuzztime $(FUZZTIME) ./internal/raid
 	$(GO) test -run '^$$' -fuzz '^FuzzHotcacheRouting$$' -fuzztime $(FUZZTIME) ./internal/hotcache
+	$(GO) test -run '^$$' -fuzz '^FuzzObjectLayout$$' -fuzztime $(FUZZTIME) ./internal/gateway

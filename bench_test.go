@@ -99,3 +99,8 @@ func BenchmarkE13QoSIsolation(b *testing.B) { runExperiment(b, experiments.E13) 
 // law against the per-tenant PI controller under identical step and burst
 // aggressor loads.
 func BenchmarkE14GovernorStepResponse(b *testing.B) { runExperiment(b, experiments.E14) }
+
+// BenchmarkE16GatewaySharding — §8 + yig: object-gateway closed-loop
+// client sweep against 1 vs 4 metadata shards; linear region, serial
+// single-shard ceiling, sharded lift, flat in-memory IAM latency.
+func BenchmarkE16GatewaySharding(b *testing.B) { runExperiment(b, experiments.E16) }

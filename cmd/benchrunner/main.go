@@ -12,6 +12,8 @@
 // -baseline diffs the fresh record against a committed one and exits
 // non-zero if the fabric p99 regressed more than 10% on either plane, if
 // the E14 PI governor's victim p99 (loaded phase, reduced scale) regressed
+// more than 10%, if the E15Q hot-cache arm's op p99 regressed more than
+// 10%, if the E16Q object gateway's sharded throughput ceiling dropped
 // more than 10%, or if any phase's share of the tail (p99+) ops' critical
 // path grew more than 5 percentage points over the baseline's
 // critical-path latency budget.
@@ -52,6 +54,8 @@ var runners = []struct {
 	{"E14Q", "reduced-scale governor step-response smoke (CI)", experiments.E14Q},
 	{"E15", "hot-key cache tier vs home migration under shifting Zipf skew", experiments.E15},
 	{"E15Q", "reduced-scale cache-tier crossover smoke (CI)", experiments.E15Quick},
+	{"E16", "object gateway: metadata sharding moves the saturation ceiling", experiments.E16},
+	{"E16Q", "reduced-scale gateway shard-scaling smoke (CI)", experiments.E16Quick},
 	{"CP1", "critical-path tail diagnosis: canonical workload", experiments.CP1},
 	{"CP2", "critical-path tail diagnosis: E14 PI arm under scrub load", experiments.CP2},
 	{"A1", "ablation: remote-read prefetch on/off", experiments.A1Prefetch},
@@ -178,7 +182,10 @@ func diffBaseline(path string, fresh experiments.BatchComparison) error {
 	if err := checkGovernor(base.Unbatched.Governor, fresh.Unbatched.Governor); err != nil {
 		return err
 	}
-	return checkHotCache(base.Unbatched.HotCache, fresh.Unbatched.HotCache)
+	if err := checkHotCache(base.Unbatched.HotCache, fresh.Unbatched.HotCache); err != nil {
+		return err
+	}
+	return checkGateway(base.Unbatched.Gateway, fresh.Unbatched.Gateway)
 }
 
 // maxTailSharePts is how many percentage points a phase's share of the
@@ -232,6 +239,24 @@ func checkHotCache(base, fresh experiments.HotCacheSummary) error {
 	if growth > maxFabricRegressPct {
 		return fmt.Errorf("E15Q shifting hotcache p99 regressed %.1f%% (baseline %.3f ms → %.3f ms, limit +%.0f%%)",
 			growth, base.ShiftHotP99Ms, fresh.ShiftHotP99Ms, maxFabricRegressPct)
+	}
+	return nil
+}
+
+// checkGateway guards the object gateway's sharded throughput ceiling
+// (E16Q, four metadata shards): unlike the latency gates this one fails
+// on a DROP — the ceiling is the capacity claim. Pre-PR10 baselines
+// carry no gateway summary and are skipped.
+func checkGateway(base, fresh experiments.GatewaySummary) error {
+	if base.ShardedCeilingOpsPerSec <= 0 || fresh.ShardedCeilingOpsPerSec <= 0 {
+		return nil
+	}
+	drop := 100 * (base.ShardedCeilingOpsPerSec - fresh.ShardedCeilingOpsPerSec) / base.ShardedCeilingOpsPerSec
+	fmt.Printf("  E16Q sharded gateway ceiling: baseline %.0f ops/s, now %.0f ops/s (%+.1f%%)\n",
+		base.ShardedCeilingOpsPerSec, fresh.ShardedCeilingOpsPerSec, -drop)
+	if drop > maxFabricRegressPct {
+		return fmt.Errorf("E16Q sharded gateway ceiling regressed %.1f%% (baseline %.0f ops/s → %.0f ops/s, limit -%.0f%%)",
+			drop, base.ShardedCeilingOpsPerSec, fresh.ShardedCeilingOpsPerSec, maxFabricRegressPct)
 	}
 	return nil
 }

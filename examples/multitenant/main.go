@@ -31,34 +31,34 @@ func main() {
 		if _, err := sys.Cluster.CreateDMSD("default", vol, 1024); err != nil {
 			log.Fatal(err)
 		}
-		sys.Gateway.ExportLUN(tenant+"-lun", vol)
+		sys.BlockGateway.ExportLUN(tenant+"-lun", vol)
 		sys.Mask.Allow(tenant+"-lun", tenant, security.ReadWrite)
 	}
 	fusionTok, _ := sys.Auth.Issue("fusion", 3600*sim.Second)
 	genomicsTok, _ := sys.Auth.Issue("genomics", 3600*sim.Second)
 
 	// Dangerous control verbs are disabled on the data path (§5.2).
-	sys.Gateway.DisableInBand("volume.delete")
+	sys.BlockGateway.DisableInBand("volume.delete")
 
 	err = sys.Run(0, func(p *sim.Proc) error {
 		secret := bytes.Repeat([]byte("plasma"), 1000)[:4096]
 
 		// Fusion stores data; it comes back intact through encryption.
-		if err := sys.Gateway.Write(p, fusionTok, "fusion-lun", 0, secret, 0, 0); err != nil {
+		if err := sys.BlockGateway.Write(p, fusionTok, "fusion-lun", 0, secret, 0, 0); err != nil {
 			return err
 		}
-		got, err := sys.Gateway.Read(p, fusionTok, "fusion-lun", 0, 1, 0)
+		got, err := sys.BlockGateway.Read(p, fusionTok, "fusion-lun", 0, 1, 0)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("fusion round trip ok: %v\n", bytes.Equal(got, secret))
 
 		// Each tenant sees only its own LUN.
-		vis, _ := sys.Gateway.Visible(fusionTok)
+		vis, _ := sys.BlockGateway.Visible(fusionTok)
 		fmt.Printf("fusion sees LUNs: %v\n", vis)
 
 		// Genomics probing fusion's LUN is denied and audited.
-		if _, err := sys.Gateway.Read(p, genomicsTok, "fusion-lun", 0, 1, 0); err != nil {
+		if _, err := sys.BlockGateway.Read(p, genomicsTok, "fusion-lun", 0, 1, 0); err != nil {
 			fmt.Printf("cross-tenant read denied: %v\n", err)
 		}
 
@@ -72,9 +72,9 @@ func main() {
 			bytes.Equal(raw, secret))
 
 		// In-band control lockdown.
-		err = sys.Gateway.Control(fusionTok, "volume.delete", true, func() error { return nil })
+		err = sys.BlockGateway.Control(fusionTok, "volume.delete", true, func() error { return nil })
 		fmt.Printf("in-band volume.delete: %v\n", err)
-		err = sys.Gateway.Control(fusionTok, "volume.delete", false, func() error { return nil })
+		err = sys.BlockGateway.Control(fusionTok, "volume.delete", false, func() error { return nil })
 		fmt.Printf("out-of-band volume.delete: allowed (err=%v)\n", err)
 		return nil
 	})

@@ -15,6 +15,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/controller"
 	"repro/internal/disk"
+	"repro/internal/gateway"
 	"repro/internal/georepl"
 	"repro/internal/hotcache"
 	"repro/internal/pfs"
@@ -128,6 +129,13 @@ type Options struct {
 	FabricBatch bool
 	// FabricBatchPolicy tunes coalescing (zero fields = simnet defaults).
 	FabricBatchPolicy simnet.BatchPolicy
+	// Gateway, when non-nil, builds the S3-style object plane
+	// (System.Gateway): an object API over the file system with yig's
+	// three-tier split — in-memory IAM over System.Auth, a shardable
+	// bucket-metadata index, and the existing data path billed to each
+	// bucket owner's QoS identity. FS and Auth fields are filled in by
+	// the constructor; set MetaShards/Layout/latencies to size the tiers.
+	Gateway *gateway.Config
 }
 
 func (o *Options) fillDefaults() {
@@ -166,7 +174,12 @@ type System struct {
 	FS      *pfs.FS
 	Auth    *security.Authority
 	Mask    *security.LUNMask
-	Gateway *security.Gateway
+	// BlockGateway is the §5 block-export front door (token checks, LUN
+	// masking, at-rest encryption) — the SAN face of the pool.
+	BlockGateway *security.Gateway
+	// Gateway is the S3-style object plane; non-nil when Options.Gateway
+	// was set.
+	Gateway *gateway.Gateway
 	// Tracer is non-nil when Options.Trace was set.
 	Tracer *trace.Tracer
 	// Registry is the cluster's named-metric registry (always available).
@@ -257,8 +270,18 @@ func NewSystemOn(k *sim.Kernel, opts Options) (*System, error) {
 		EncryptAtRest:    opts.EncryptAtRest,
 		EncThroughputBps: opts.EncThroughputBps,
 	})
-	sys := &System{K: k, Cluster: cluster, FS: fs, Auth: auth, Mask: mask, Gateway: gw,
+	sys := &System{K: k, Cluster: cluster, FS: fs, Auth: auth, Mask: mask, BlockGateway: gw,
 		Tracer: tracer, Registry: cluster.Reg, QoS: cluster.QoS}
+	if opts.Gateway != nil {
+		gcfg := *opts.Gateway
+		gcfg.FS = fs
+		gcfg.Auth = auth
+		sys.Gateway, err = gateway.New(k, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Gateway.RegisterTelemetry(cluster.Reg.Sub("gateway"))
+	}
 	if opts.Telemetry > 0 {
 		sys.Scraper = telemetry.NewScraper(k, cluster.Reg, opts.Telemetry)
 		sys.Scraper.Tracer = tracer

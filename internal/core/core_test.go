@@ -98,16 +98,16 @@ func TestSystemSecurityIntegration(t *testing.T) {
 	if _, err := sys.Cluster.CreateDMSD("default", "tenant1-lun", 64); err != nil {
 		t.Fatal(err)
 	}
-	sys.Gateway.ExportLUN("lun1", "tenant1-lun")
+	sys.BlockGateway.ExportLUN("lun1", "tenant1-lun")
 	sys.Auth.CreateTenant("hep")
 	tok, _ := sys.Auth.Issue("hep", 3600*sim.Second)
 	sys.Mask.Allow("lun1", "hep", 2) // ReadWrite
 	payload := bytes.Repeat([]byte{0xAA}, 512)
 	err = sys.Run(0, func(p *sim.Proc) error {
-		if err := sys.Gateway.Write(p, tok, "lun1", 0, payload, 0, 0); err != nil {
+		if err := sys.BlockGateway.Write(p, tok, "lun1", 0, payload, 0, 0); err != nil {
 			return err
 		}
-		got, err := sys.Gateway.Read(p, tok, "lun1", 0, 1, 0)
+		got, err := sys.BlockGateway.Read(p, tok, "lun1", 0, 1, 0)
 		if err != nil {
 			return err
 		}

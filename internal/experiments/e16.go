@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/gateway"
+	"repro/internal/metrics"
+	"repro/internal/security"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// E16 — the object gateway's three-tier scaling claim. The gateway
+// splits per-request work the way yig does: an IAM tier that answers
+// every credential/ACL check from memory at a fixed cost, a metadata
+// index tier that serializes per-shard, and the data path underneath
+// with headroom to spare. The tier that saturates first is metadata —
+// and because it is sharded by bucket, the fix is adding index shards,
+// not faster disks.
+//
+// One seed drives a closed-loop client sweep against a bucket population
+// under Zipf popularity (a handful of hot buckets carry most traffic,
+// drawn from a user population in the millions at full scale), once with
+// a single metadata shard and once with four:
+//
+//   - below saturation, throughput scales linearly with the client
+//     count — each op pays think time plus a fixed tier-by-tier cost,
+//     and no queue has formed;
+//   - past the point where offered index ops exceed one shard's serial
+//     capacity (1/MetaOpTime), the single-shard arm goes flat: adding
+//     clients adds queueing at the index server, not throughput;
+//   - four shards move that ceiling by at least 2× — not a full 4×,
+//     because Zipf-hot buckets hash unevenly and the busiest shard
+//     saturates while its siblings idle (the load-skew cost the
+//     per-shard telemetry gauges exist to show);
+//   - the IAM tier's hit latency stays flat and far under 10 ms at
+//     every load point — credential checks never queue behind metadata,
+//     which is the reason the tiers are split at all.
+//
+// The E16 tests assert each of these plus byte-identical same-seed
+// reruns; the quick variant is the CI smoke gate (benchrunner -only
+// E16Q) and feeds the BENCH baseline snapshot.
+
+// e16Scale sizes one E16 evaluation; E16 and E16Q share the code path.
+type e16Scale struct {
+	users   int // IAM population (tenants registered + tokens issued)
+	buckets int
+	objects int // objects prefilled per bucket
+	objSize int
+	settle  sim.Duration // after prefill, before the sweep: drains the
+	// destage convoy prefill leaves behind, so the first (smallest)
+	// sweep step measures steady state, not cold-start disk stalls
+	warm   sim.Duration // per sweep step, before its measured window
+	dur    sim.Duration // measured window per sweep step
+	sweep  []int        // closed-loop client counts, in order
+	shards []int        // metadata shard arms
+}
+
+func e16FullScale() e16Scale {
+	return e16Scale{
+		users: 1 << 20, buckets: 256, objects: 16, objSize: 4096,
+		settle: 3 * sim.Second, warm: 500 * sim.Millisecond, dur: 2 * sim.Second,
+		sweep:  []int{2, 4, 8, 16, 32, 64, 128},
+		shards: []int{1, 4},
+	}
+}
+
+func e16QuickScale() e16Scale {
+	return e16Scale{
+		users: 1 << 14, buckets: 128, objects: 8, objSize: 4096,
+		settle: 2 * sim.Second, warm: 500 * sim.Millisecond, dur: 1 * sim.Second,
+		sweep:  []int{2, 4, 8, 16, 32, 64, 128},
+		shards: []int{1, 4},
+	}
+}
+
+// E16 workload constants. MetaOpTime sets the knee the experiment is
+// about: one shard serializes index ops, so its capacity is
+// 1/MetaOpTime = 2000 index ops/s, and with ~1.1 index ops per object
+// op (reads cost one, writes a prepare+commit pair) the single-shard
+// ceiling lands near 1800 ops/s — inside the sweep's offered range. The
+// think time keeps per-client demand low enough that the first sweep
+// doublings stay well under the knee (the linear region the tests
+// assert on).
+const (
+	e16MetaOpTime = 500 * sim.Microsecond
+	e16IAMLatency = 100 * sim.Microsecond
+	e16Think      = 4 * sim.Millisecond
+	e16WriteFrac  = 0.1
+	e16ZipfS      = 1.2
+)
+
+// E16Point is one (shards, clients) measurement.
+type E16Point struct {
+	Shards, Clients int
+	OpsPerSec       float64
+	P50, P99        sim.Duration // client-observed object-op latency
+	IAMP99          sim.Duration // IAM tier hit latency (cumulative)
+	ShardUtil       float64      // busiest shard's busy fraction in the window
+}
+
+// E16Result carries the full sweep for every shard arm.
+type E16Result struct {
+	Users, Buckets int
+	Points         []E16Point
+}
+
+// Point returns the measurement for one (shards, clients) pair.
+func (r E16Result) Point(shards, clients int) E16Point {
+	for _, pt := range r.Points {
+		if pt.Shards == shards && pt.Clients == clients {
+			return pt
+		}
+	}
+	return E16Point{}
+}
+
+// Ceiling returns the best throughput an arm reached anywhere in its
+// sweep — the measured capacity of that shard count.
+func (r E16Result) Ceiling(shards int) float64 {
+	var best float64
+	for _, pt := range r.Points {
+		if pt.Shards == shards && pt.OpsPerSec > best {
+			best = pt.OpsPerSec
+		}
+	}
+	return best
+}
+
+func e16Bucket(i int) string { return fmt.Sprintf("b-%04d", i) }
+func e16Key(i int) string    { return fmt.Sprintf("o/%04d", i) }
+
+// e16Arm runs the whole client sweep against one fresh system with the
+// given shard count. The sweep shares the system: tenants register once,
+// buckets prefill once, and each step spawns a fresh client population
+// whose deadline expires before the next step begins — so later steps
+// inherit warm caches instead of paying setup per point, exactly like a
+// stepped load test against a live service.
+func e16Arm(seed int64, sc e16Scale, shards int) []E16Point {
+	sys, err := core.NewSystem(core.Options{
+		Seed: seed,
+		// SSD-class drives: the experiment's premise is that the data
+		// tier has headroom and metadata saturates first. On the lab
+		// default (8 ms spinning media) RAID5 write destage caps the
+		// cluster near the 4-shard metadata ceiling and the knee this
+		// experiment exists to show gets tangled with disk queues.
+		DiskSpec: disk.Spec{
+			BlockSize:   4096,
+			Blocks:      1 << 16,
+			Seek:        100 * sim.Microsecond,
+			TransferBps: 400_000_000,
+		},
+		Gateway: &gateway.Config{
+			MetaShards: shards,
+			MetaOpTime: e16MetaOpTime,
+			IAMLatency: e16IAMLatency,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Stop()
+	gw := sys.Gateway
+
+	// IAM population: every simulated user is a real tenant in the
+	// security authority with a live token — the full credential cache
+	// the in-memory tier answers from.
+	tokens, err := sys.Auth.CreateTenants("u", sc.users, 24*3600*sim.Second)
+	if err != nil {
+		panic(err)
+	}
+
+	// Prefill: every bucket exists (public read-write, so any user's op
+	// authorizes against the in-memory ACL) and holds its object
+	// population, one proc per bucket.
+	payload := make([]byte, sc.objSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	prefilled := 0
+	for b := 0; b < sc.buckets; b++ {
+		b := b
+		sys.K.Go(fmt.Sprintf("e16-prefill-%d", b), func(p *sim.Proc) {
+			defer func() { prefilled++ }()
+			tok := tokens[b%len(tokens)]
+			opts := gateway.BucketOptions{
+				ACL:      gateway.ACL{Public: security.ReadWrite},
+				Priority: -1,
+			}
+			if err := gw.CreateBucket(p, tok, e16Bucket(b), opts); err != nil {
+				panic(err)
+			}
+			for o := 0; o < sc.objects; o++ {
+				if _, err := gw.PutObject(p, tok, e16Bucket(b), e16Key(o), payload); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	for i := 0; prefilled < sc.buckets && i < 6000; i++ {
+		sys.K.RunFor(100 * sim.Millisecond)
+	}
+	if prefilled < sc.buckets {
+		panic("e16: prefill did not finish")
+	}
+	sys.K.RunFor(sc.settle)
+
+	var points []E16Point
+	for step, clients := range sc.sweep {
+		lat := metrics.NewHistogram()
+		measuring := false
+		end := sys.K.Now().Add(sc.warm + sc.dur)
+		for cl := 0; cl < clients; cl++ {
+			cl := cl
+			sys.K.Go(fmt.Sprintf("e16-c%d-%d", step, cl), func(p *sim.Proc) {
+				// Per-client generator: bucket popularity is Zipf with a
+				// static hot set (rotation parked far beyond the run),
+				// users drawn uniformly from the full population.
+				rng := rand.New(rand.NewSource(seed*7919 + int64(step)*1009 + int64(cl) + 1))
+				pat := workload.NewBucketZipf(rng, sc.users, sc.buckets, sc.objects,
+					e16ZipfS, e16WriteFrac, 1<<62, 1)
+				for p.Now() < end {
+					p.Sleep(e16Think)
+					op := pat.Next(rng)
+					tok := tokens[op.User]
+					t0 := p.Now()
+					var err error
+					if op.Write {
+						_, err = gw.PutObject(p, tok, e16Bucket(op.Bucket), e16Key(op.Obj), payload)
+					} else {
+						_, _, err = gw.GetObject(p, tok, e16Bucket(op.Bucket), e16Key(op.Obj))
+					}
+					if err != nil {
+						panic(err)
+					}
+					if measuring {
+						lat.Observe(p.Now().Sub(t0))
+					}
+				}
+			})
+		}
+		sys.K.RunFor(sc.warm)
+		before := gw.Stats()
+		measuring = true
+		sys.K.RunFor(sc.dur)
+		after := gw.Stats()
+		// Drain: clients quit at their deadline mid-window tails aside,
+		// so a short run flushes in-flight ops before the next step's
+		// population spawns.
+		sys.K.RunFor(100 * sim.Millisecond)
+
+		var maxShard int64
+		for i := range after.ShardOps {
+			if d := after.ShardOps[i] - before.ShardOps[i]; d > maxShard {
+				maxShard = d
+			}
+		}
+		points = append(points, E16Point{
+			Shards:    shards,
+			Clients:   clients,
+			OpsPerSec: float64(after.Ops()-before.Ops()) / sc.dur.Seconds(),
+			P50:       lat.P50(),
+			P99:       lat.Quantile(0.99),
+			IAMP99:    after.IAMHitP99,
+			ShardUtil: float64(maxShard) * e16MetaOpTime.Seconds() / sc.dur.Seconds(),
+		})
+	}
+	return points
+}
+
+// runE16 executes every shard arm's sweep under one seed.
+func runE16(seed int64, sc e16Scale) E16Result {
+	res := E16Result{Users: sc.users, Buckets: sc.buckets}
+	for _, shards := range sc.shards {
+		res.Points = append(res.Points, e16Arm(seed, sc, shards)...)
+	}
+	return res
+}
+
+// RunE16 executes the full-scale experiment.
+func RunE16(seed int64) E16Result { return runE16(seed, e16FullScale()) }
+
+// RunE16Quick executes the reduced-scale sweep the CI smoke gate uses.
+func RunE16Quick(seed int64) E16Result { return runE16(seed, e16QuickScale()) }
+
+// E16 renders the experiment table.
+func E16(seed int64) *metrics.Table { return e16Table(RunE16(seed), "E16") }
+
+// E16Quick renders the reduced-scale table (benchrunner -only E16Q).
+func E16Quick(seed int64) *metrics.Table { return e16Table(RunE16Quick(seed), "E16Q") }
+
+func e16Table(r E16Result, name string) *metrics.Table {
+	tab := metrics.NewTable(name+" — object gateway: metadata sharding moves the saturation ceiling",
+		"shards", "clients", "ops/s", "p50 ms", "p99 ms", "iam p99 ms", "hot shard util")
+	for _, pt := range r.Points {
+		tab.AddRow(int64(pt.Shards), int64(pt.Clients), int64(pt.OpsPerSec),
+			fmtDur(pt.P50), fmtDur(pt.P99), fmtDur(pt.IAMP99), fmtF(pt.ShardUtil))
+	}
+	shards := []int{}
+	for _, pt := range r.Points {
+		if len(shards) == 0 || shards[len(shards)-1] != pt.Shards {
+			shards = append(shards, pt.Shards)
+		}
+	}
+	if len(shards) >= 2 {
+		c1, cN := r.Ceiling(shards[0]), r.Ceiling(shards[len(shards)-1])
+		if c1 > 0 {
+			tab.AddNote("ceiling: %d ops/s at %d shard(s) → %d ops/s at %d (%.2fx)",
+				int64(c1), shards[0], int64(cN), shards[len(shards)-1], cN/c1)
+		}
+	}
+	tab.AddNote("%d users (IAM entries), %d buckets, zipf s=%s, write fraction %s, think %s ms, index op %s ms",
+		r.Users, r.Buckets, fmtF(e16ZipfS), fmtF(e16WriteFrac), fmtDur(e16Think), fmtDur(e16MetaOpTime))
+	return tab
+}

@@ -156,6 +156,7 @@ func All(seed int64) []*metrics.Table {
 		E13(seed),
 		E14(seed),
 		E15(seed),
+		E16(seed),
 	}
 }
 

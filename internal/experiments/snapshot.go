@@ -85,6 +85,23 @@ type HotCacheSummary struct {
 	Migrations            int64   `json:"migrations"`
 }
 
+// GatewaySummary condenses E16Q — the object gateway's shard-scaling
+// sweep at the reduced CI scale — into the perf record: the measured
+// throughput ceiling with one metadata shard and with four, the low-load
+// linear-region points the scaling claim anchors on, and the IAM tier's
+// hit p99. The -baseline gate watches ShardedCeilingOpsPerSec.
+type GatewaySummary struct {
+	Users                   int     `json:"users"`
+	Buckets                 int     `json:"buckets"`
+	CeilingOpsPerSec        float64 `json:"ceiling_ops_per_sec"`
+	ShardedCeilingOpsPerSec float64 `json:"sharded_ceiling_ops_per_sec"`
+	CeilingRatio            float64 `json:"ceiling_ratio"`
+	LinearLowOpsPerSec      float64 `json:"linear_low_ops_per_sec"`
+	LinearHighOpsPerSec     float64 `json:"linear_high_ops_per_sec"`
+	IAMP99Ms                float64 `json:"iam_p99_ms"`
+	SaturatedShardUtil      float64 `json:"saturated_shard_util"`
+}
+
 // PhaseBudget is one phase's slice of the critical-path latency budget:
 // inclusive span count, total critical time and its share of all op wall
 // time, plus the phase's mean critical contribution to a median op and a
@@ -165,6 +182,7 @@ type Snapshot struct {
 	QoS       QoSSummary                `json:"qos"`
 	Governor  GovernorSummary           `json:"governor"`
 	HotCache  HotCacheSummary           `json:"hotcache"`
+	Gateway   GatewaySummary            `json:"gateway"`
 }
 
 // BatchComparison is the PR6 perf record: the canonical snapshot workload
@@ -182,20 +200,22 @@ type BatchComparison struct {
 // under a mixed read/write closed loop with tracing on — and returns the
 // per-phase summary plus the E12 balance and E13 QoS summaries.
 // Deterministic per seed.
-func PerfSnapshot(seed int64) Snapshot { return perfSnapshot(seed, true, true, true, true, false) }
+func PerfSnapshot(seed int64) Snapshot {
+	return perfSnapshot(seed, true, true, true, true, true, false)
+}
 
 // PerfSnapshotBatched is PerfSnapshot on the batched fabric plane,
-// without the E12/E13/E14/E15 arms (they characterize orthogonal
+// without the E12/E13/E14/E15/E16 arms (they characterize orthogonal
 // subsystems).
 func PerfSnapshotBatched(seed int64) Snapshot {
-	return perfSnapshot(seed, false, false, false, false, true)
+	return perfSnapshot(seed, false, false, false, false, false, true)
 }
 
 // RunBatchComparison builds the PR6 record: same seed, same workload,
 // unbatched then batched, plus headline reductions.
 func RunBatchComparison(seed int64) BatchComparison {
-	un := perfSnapshot(seed, true, true, true, true, false)
-	ba := perfSnapshot(seed, false, false, false, false, true)
+	un := perfSnapshot(seed, true, true, true, true, true, false)
+	ba := perfSnapshot(seed, false, false, false, false, false, true)
 	cmp := BatchComparison{Unbatched: un, Batched: ba}
 	if f, ok := un.Phases["fabric"]; ok && f.P99Ms > 0 {
 		cmp.FabricP99ReductionPct = 100 * (f.P99Ms - ba.Phases["fabric"].P99Ms) / f.P99Ms
@@ -248,13 +268,13 @@ func canonicalTraced(seed int64, batched bool) (*workload.Runner, *trace.Tracer)
 	return r, tracer
 }
 
-// perfSnapshot optionally skips the E12, E13, E14 and E15 arms: the
+// perfSnapshot optionally skips the E12, E13, E14, E15 and E16 arms: the
 // snapshot tests double-run the builder to prove determinism, and paying
 // for second full runs there would duplicate what TestE12Deterministic,
-// TestE13Deterministic, TestE14Deterministic and TestE15QuickDeterministic
-// already assert while pushing the package past the default go-test
-// timeout.
-func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, withHotCache, batched bool) Snapshot {
+// TestE13Deterministic, TestE14Deterministic, TestE15QuickDeterministic
+// and TestE16QuickDeterministic already assert while pushing the package
+// past the default go-test timeout.
+func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, withHotCache, withGateway, batched bool) Snapshot {
 	r, tracer := canonicalTraced(seed, batched)
 
 	snap := Snapshot{
@@ -341,6 +361,33 @@ func perfSnapshot(seed int64, withBalance, withQoS, withGovernor, withHotCache, 
 			CacheFills:            e15.ShiftHotCache.CacheFills,
 			InvalKeys:             e15.ShiftHotCache.Invals,
 			Migrations:            e15.ShiftMigrate.Migrations,
+		}
+	}
+	if withGateway {
+		e16 := RunE16Quick(seed)
+		low, high := e16.Point(1, 2), e16.Point(1, 4)
+		var satUtil, iamP99 float64
+		for _, pt := range e16.Points {
+			if pt.Shards == 4 && pt.OpsPerSec == e16.Ceiling(4) {
+				satUtil = pt.ShardUtil
+			}
+			if ms := pt.IAMP99.Millis(); ms > iamP99 {
+				iamP99 = ms
+			}
+		}
+		c1, c4 := e16.Ceiling(1), e16.Ceiling(4)
+		snap.Gateway = GatewaySummary{
+			Users:                   e16.Users,
+			Buckets:                 e16.Buckets,
+			CeilingOpsPerSec:        c1,
+			ShardedCeilingOpsPerSec: c4,
+			LinearLowOpsPerSec:      low.OpsPerSec,
+			LinearHighOpsPerSec:     high.OpsPerSec,
+			IAMP99Ms:                iamP99,
+			SaturatedShardUtil:      satUtil,
+		}
+		if c1 > 0 {
+			snap.Gateway.CeilingRatio = c4 / c1
 		}
 	}
 	return snap

@@ -13,11 +13,11 @@ import (
 // full runs would blow the package's test-time budget.
 func TestPerfSnapshotDeterministic(t *testing.T) {
 	skipIfShort(t)
-	a, err := json.MarshalIndent(perfSnapshot(1, false, false, false, false, false), "", "  ")
+	a, err := json.MarshalIndent(perfSnapshot(1, false, false, false, false, false, false), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := json.MarshalIndent(perfSnapshot(1, false, false, false, false, false), "", "  ")
+	b, err := json.MarshalIndent(perfSnapshot(1, false, false, false, false, false, false), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestPerfSnapshotDeterministic(t *testing.T) {
 
 func TestPerfSnapshotShape(t *testing.T) {
 	skipIfShort(t)
-	snap := perfSnapshot(2, false, false, false, false, false)
+	snap := perfSnapshot(2, false, false, false, false, false, false)
 	if snap.Ops <= 0 {
 		t.Fatalf("snapshot ran no ops: %+v", snap)
 	}

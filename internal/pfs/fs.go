@@ -11,6 +11,7 @@ package pfs
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/sim"
@@ -363,7 +364,10 @@ func (fs *FS) Remove(path string) error {
 	return nil
 }
 
-// List returns the names in a directory, sorted by the caller if needed.
+// List returns the names in a directory in lexical order. The order is a
+// contract: the gateway's ListObjects pagination and every same-seed
+// byte-identical experiment table depend on directory enumeration being
+// deterministic, so callers must never see map order.
 func (fs *FS) List(path string) ([]string, error) {
 	ino, err := fs.lookup(path)
 	if err != nil {
@@ -376,6 +380,7 @@ func (fs *FS) List(path string) ([]string, error) {
 	for name := range ino.children {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out, nil
 }
 
@@ -404,7 +409,8 @@ func (fs *FS) Policy(path string) (Policy, error) {
 	return ino.Policy, nil
 }
 
-// Walk visits every inode under path (depth-first), calling fn with the
+// Walk visits every inode under path (depth-first, children in lexical
+// order — the same determinism contract as List), calling fn with the
 // full path of each.
 func (fs *FS) Walk(path string, fn func(p string, ino *Inode) error) error {
 	ino, err := fs.lookup(path)
@@ -421,8 +427,13 @@ func (fs *FS) walk(path string, ino *Inode, fn func(string, *Inode) error) error
 	if !ino.Dir {
 		return nil
 	}
-	for name, child := range ino.children {
-		if err := fs.walk(joinPath(path, name), child, fn); err != nil {
+	names := make([]string, 0, len(ino.children))
+	for name := range ino.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := fs.walk(joinPath(path, name), ino.children[name], fn); err != nil {
 			return err
 		}
 	}

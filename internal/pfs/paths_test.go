@@ -1,0 +1,254 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// newPathFS builds an FS with two classes for the path/metadata tests —
+// the surface the object gateway's metadata tier leans on.
+func newPathFS(t *testing.T) *FS {
+	t.Helper()
+	k := sim.NewKernel(1)
+	io := newFakeIO("volA", "volB")
+	fs, err := New(k, Config{
+		IO:           io,
+		Classes:      map[string]string{"default": "volA", "bulk": "volB"},
+		DefaultClass: "default",
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return fs
+}
+
+func TestMkdirAllDeepAndIdempotent(t *testing.T) {
+	fs := newPathFS(t)
+	deep := "/gateway/t/alpha/b/photos/p"
+	if err := fs.MkdirAll(deep); err != nil {
+		t.Fatalf("MkdirAll(%q): %v", deep, err)
+	}
+	// Every intermediate directory must exist.
+	for _, p := range []string{"/gateway", "/gateway/t", "/gateway/t/alpha", "/gateway/t/alpha/b", "/gateway/t/alpha/b/photos", deep} {
+		ino, err := fs.Stat(p)
+		if err != nil {
+			t.Fatalf("Stat(%q): %v", p, err)
+		}
+		if !ino.Dir {
+			t.Fatalf("Stat(%q): not a directory", p)
+		}
+	}
+	// Idempotent: repeating must not error or duplicate.
+	if err := fs.MkdirAll(deep); err != nil {
+		t.Fatalf("MkdirAll twice: %v", err)
+	}
+	// Creating below an existing file must fail with ErrNotDir.
+	if _, err := fs.Create("/gateway/t/alpha/obj", Policy{}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := fs.MkdirAll("/gateway/t/alpha/obj/sub"); err == nil {
+		t.Fatalf("MkdirAll below a file succeeded")
+	}
+	// Relative and parent-escaping paths are rejected.
+	if err := fs.MkdirAll("relative/path"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("MkdirAll(relative) err = %v, want ErrBadPath", err)
+	}
+	if err := fs.MkdirAll("/a/../b"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("MkdirAll(..) err = %v, want ErrBadPath", err)
+	}
+}
+
+func TestListSortedOrderForPagination(t *testing.T) {
+	fs := newPathFS(t)
+	if err := fs.MkdirAll("/bucket"); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	// Create in deliberately non-lexical order.
+	names := []string{"zeta", "alpha", "m/05", "m/01", "beta"}
+	for _, n := range names {
+		path := "/bucket/" + n
+		if err := fs.MkdirAll(parentOf(path)); err != nil {
+			t.Fatalf("MkdirAll(%q): %v", parentOf(path), err)
+		}
+		if _, err := fs.Create(path, Policy{}); err != nil {
+			t.Fatalf("Create(%q): %v", path, err)
+		}
+	}
+	got, err := fs.List("/bucket")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := append([]string(nil), got...)
+	sort.Strings(want)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("List not sorted: got %v", got)
+		}
+	}
+	if len(got) != 4 { // alpha, beta, m, zeta
+		t.Fatalf("List returned %v, want 4 entries", got)
+	}
+	// The order must be stable across calls — a paginating caller resumes
+	// from a marker and must see the same sequence every time.
+	for i := 0; i < 5; i++ {
+		again, err := fs.List("/bucket")
+		if err != nil {
+			t.Fatalf("List again: %v", err)
+		}
+		if fmt.Sprint(again) != fmt.Sprint(got) {
+			t.Fatalf("List order unstable: %v vs %v", again, got)
+		}
+	}
+	if _, err := fs.List("/bucket/alpha"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("List(file) err = %v, want ErrNotDir", err)
+	}
+}
+
+func parentOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "/"
+}
+
+func TestSetPolicyRoundTrip(t *testing.T) {
+	fs := newPathFS(t)
+	if _, err := fs.Create("/f", Policy{}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	want := Policy{CachePriority: 2, ReplicationN: 3, Class: "bulk", Geo: GeoPolicy{Mode: GeoAsync, Copies: 1}}
+	if err := fs.SetPolicy("/f", want); err != nil {
+		t.Fatalf("SetPolicy: %v", err)
+	}
+	got, err := fs.Policy("/f")
+	if err != nil {
+		t.Fatalf("Policy: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Policy round-trip: got %+v want %+v", got, want)
+	}
+	// Out-of-range priorities clamp at the metadata boundary.
+	if err := fs.SetPolicy("/f", Policy{CachePriority: 99}); err != nil {
+		t.Fatalf("SetPolicy(clamp): %v", err)
+	}
+	if got, _ := fs.Policy("/f"); got.CachePriority != 3 {
+		t.Fatalf("CachePriority 99 clamped to %d, want 3", got.CachePriority)
+	}
+	if err := fs.SetPolicy("/f", Policy{CachePriority: -7}); err != nil {
+		t.Fatalf("SetPolicy(clamp-): %v", err)
+	}
+	if got, _ := fs.Policy("/f"); got.CachePriority != 0 {
+		t.Fatalf("CachePriority -7 clamped to %d, want 0", got.CachePriority)
+	}
+	// Unknown classes are rejected and leave the policy untouched.
+	if err := fs.SetPolicy("/f", Policy{Class: "nope"}); !errors.Is(err, ErrNoClass) {
+		t.Fatalf("SetPolicy(bad class) err = %v, want ErrNoClass", err)
+	}
+	if got, _ := fs.Policy("/f"); got.CachePriority != 0 {
+		t.Fatalf("failed SetPolicy mutated policy: %+v", got)
+	}
+	if _, err := fs.Policy("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Policy(missing) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestWalkDeepTreeOrderAndCoverage(t *testing.T) {
+	fs := newPathFS(t)
+	// A deep, branchy tree: 3 tenants × 3 buckets × 4 objects, plus a
+	// deep chain of single directories.
+	var want []string
+	want = append(want, "/gw")
+	for ti := 0; ti < 3; ti++ {
+		tdir := fmt.Sprintf("/gw/t%d", ti)
+		want = append(want, tdir)
+		for bi := 0; bi < 3; bi++ {
+			bdir := fmt.Sprintf("%s/b%d", tdir, bi)
+			want = append(want, bdir)
+			if err := fs.MkdirAll(bdir); err != nil {
+				t.Fatalf("MkdirAll: %v", err)
+			}
+			for oi := 0; oi < 4; oi++ {
+				obj := fmt.Sprintf("%s/o%d", bdir, oi)
+				want = append(want, obj)
+				if _, err := fs.Create(obj, Policy{}); err != nil {
+					t.Fatalf("Create: %v", err)
+				}
+			}
+		}
+	}
+	chain := "/gw/deep"
+	for d := 0; d < 12; d++ {
+		chain += fmt.Sprintf("/d%02d", d)
+	}
+	if err := fs.MkdirAll(chain); err != nil {
+		t.Fatalf("MkdirAll(chain): %v", err)
+	}
+
+	var got []string
+	if err := fs.Walk("/gw", func(p string, ino *Inode) error {
+		got = append(got, p)
+		return nil
+	}); err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	// Walk visits parents before children, children in lexical order —
+	// so the full visit sequence is exactly the DFS of the sorted tree.
+	var want2 []string
+	want2 = append(want2, "/gw")
+	want2 = append(want2, chainPrefixes("/gw/deep", 12)...)
+	for ti := 0; ti < 3; ti++ {
+		tdir := fmt.Sprintf("/gw/t%d", ti)
+		want2 = append(want2, tdir)
+		for bi := 0; bi < 3; bi++ {
+			bdir := fmt.Sprintf("%s/b%d", tdir, bi)
+			want2 = append(want2, bdir)
+			for oi := 0; oi < 4; oi++ {
+				want2 = append(want2, fmt.Sprintf("%s/o%d", bdir, oi))
+			}
+		}
+	}
+	if len(got) != len(want2) {
+		t.Fatalf("Walk visited %d inodes, want %d", len(got), len(want2))
+	}
+	for i := range got {
+		if got[i] != want2[i] {
+			t.Fatalf("Walk order diverges at %d: got %q want %q\nfull: %v", i, got[i], want2[i], got)
+		}
+	}
+	// Errors from fn abort the walk.
+	boom := errors.New("boom")
+	calls := 0
+	err := fs.Walk("/gw", func(p string, ino *Inode) error {
+		calls++
+		if calls == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Walk error propagation: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("Walk continued after error: %d calls", calls)
+	}
+}
+
+func chainPrefixes(base string, n int) []string {
+	out := []string{base}
+	cur := base
+	for d := 0; d < n; d++ {
+		cur += fmt.Sprintf("/d%02d", d)
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBucketZipfSameSeedDeterministic(t *testing.T) {
+	gen := func() []BucketOp {
+		rng := rand.New(rand.NewSource(42))
+		bz := NewBucketZipf(rng, 1_000_000, 512, 64, 1.2, 0.1, 4096, 257)
+		ops := make([]BucketOp, 10_000)
+		for i := range ops {
+			ops[i] = bz.Next(rng)
+		}
+		return ops
+	}
+	a, b := gen(), gen()
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("same-seed streams diverge at op %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("same-seed streams differ")
+	}
+}
+
+func TestBucketZipfTopKSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const buckets = 512
+	bz := NewBucketZipf(rng, 1_000_000, buckets, 64, 1.2, 0.1, 1<<62, 0)
+	const n = 50_000
+	counts := make([]int, buckets)
+	writes := 0
+	for i := 0; i < n; i++ {
+		op := bz.Next(rng)
+		if op.Bucket < 0 || op.Bucket >= buckets {
+			t.Fatalf("bucket %d out of range", op.Bucket)
+		}
+		if op.User < 0 || op.User >= 1_000_000 {
+			t.Fatalf("user %d out of range", op.User)
+		}
+		if op.Obj < 0 || op.Obj >= 64 {
+			t.Fatalf("obj %d out of range", op.Obj)
+		}
+		counts[op.Bucket]++
+		if op.Write {
+			writes++
+		}
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	top1 := float64(sorted[0]) / n
+	top10 := 0
+	for _, c := range sorted[:10] {
+		top10 += c
+	}
+	// Zipf s=1.2 over 512 buckets: the head dominates. Loose bounds so
+	// the test checks the shape, not the exact constants.
+	if top1 < 0.10 {
+		t.Fatalf("hottest bucket carries %.1f%% of ops, want >= 10%%", top1*100)
+	}
+	if frac := float64(top10) / n; frac < 0.40 {
+		t.Fatalf("top-10 buckets carry %.1f%% of ops, want >= 40%%", frac*100)
+	}
+	// And the tail is not empty: skew, not a constant function.
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < buckets/4 {
+		t.Fatalf("only %d/%d buckets ever touched", nonzero, buckets)
+	}
+	if wf := float64(writes) / n; wf < 0.05 || wf > 0.15 {
+		t.Fatalf("write fraction %.3f, want ~0.1", wf)
+	}
+}
+
+func TestBucketZipfRotationMovesHotSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const buckets = 256
+	const rotate = 8192
+	bz := NewBucketZipf(rng, 1000, buckets, 16, 1.3, 0, rotate, 61)
+	hottest := func(n int) int {
+		counts := make(map[int]int)
+		for i := 0; i < n; i++ {
+			counts[bz.Next(rng).Bucket]++
+		}
+		best, bestN := -1, -1
+		for b, c := range counts {
+			if c > bestN || (c == bestN && b < best) {
+				best, bestN = b, c
+			}
+		}
+		return best
+	}
+	h0 := hottest(rotate) // phase 0
+	h1 := hottest(rotate) // phase 1: displaced by stride 61
+	if h0 == h1 {
+		t.Fatalf("hot bucket did not move across rotation (still %d)", h0)
+	}
+	if want := (h0 + 61) % buckets; h1 != want {
+		t.Fatalf("hot bucket moved %d -> %d, want %d (stride displacement)", h0, h1, want)
+	}
+}
